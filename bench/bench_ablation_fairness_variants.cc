@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: the fairness definition. Equation 2 folds the per-task
+ * slowdowns by min/max; this bench re-collects the campaign's fairness
+ * under the mean-slowdown and harmonic-mean variants and compares the
+ * LOOCV error of schemes that rely on fairness.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace mapp;
+
+namespace {
+
+double
+loocvWithVariant(predictor::FairnessVariant variant,
+                 const predictor::FeatureScheme& scheme)
+{
+    predictor::CollectorParams cparams;
+    cparams.fairnessVariant = variant;
+    predictor::DataCollector collector({}, {}, cparams);
+    const auto points =
+        collector.collectAll(predictor::DataCollector::campaign91());
+    const auto raw = predictor::toDataset(points);
+
+    predictor::PredictorParams params;
+    params.scheme = scheme;
+    std::vector<std::string> names;
+    for (auto id : mapp::vision::kAllBenchmarks)
+        names.push_back(mapp::vision::benchmarkName(id));
+    return predictor::MultiAppPredictor::looBenchmarkCv(raw, params,
+                                                        names)
+        .meanRelativeError();
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Ablation - fairness variants (Eq. 2 min/max vs. mean vs. "
+        "harmonic)");
+
+    predictor::FeatureScheme cpuFair;
+    cpuFair.name = "cpu+fairness";
+    cpuFair.cpuTime = true;
+    cpuFair.fairness = true;
+
+    TextTable table("LOOCV relative error (%) by fairness definition");
+    table.setHeader({"variant", "cpu+fairness", "full"});
+    const std::pair<predictor::FairnessVariant, std::string> variants[] = {
+        {predictor::FairnessVariant::MinOverPairs, "Eq.2 min/max"},
+        {predictor::FairnessVariant::MeanSlowdown, "mean slowdown"},
+        {predictor::FairnessVariant::HarmonicMean, "harmonic mean"},
+    };
+    for (const auto& [variant, label] : variants) {
+        table.addRow(label,
+                     {loocvWithVariant(variant, cpuFair),
+                      loocvWithVariant(variant, predictor::fullScheme())},
+                     2);
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: feature normalization. Section V-C normalizes times by the
+ * (max - min) range of the CPU-time feature over the training data;
+ * this bench compares against no normalization at all, exploiting the
+ * tree's scale invariance (the tree itself is unaffected; only the
+ * normalized target changes round-trip fidelity).
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "ml/metrics.h"
+
+using namespace mapp;
+
+namespace {
+
+/** LOOCV with the raw (unnormalized) pipeline. */
+double
+loocvUnnormalized()
+{
+    const auto& raw = bench::campaignDataset();
+    const auto scheme = predictor::fullScheme();
+    double errSum = 0.0;
+    int folds = 0;
+    for (const auto& name : bench::benchmarkNames()) {
+        auto [train, test] = predictor::splitOutBenchmark(raw, name);
+        if (train.empty() || test.empty())
+            continue;
+        ml::DecisionTreeRegressor tree;
+        tree.fit(train.selectFeatures(scheme.featureNames()));
+        const auto testProj = test.selectFeatures(scheme.featureNames());
+        std::vector<double> predictions;
+        for (std::size_t i = 0; i < testProj.size(); ++i)
+            predictions.push_back(tree.predict(testProj.row(i)));
+        errSum += ml::meanRelativeErrorPercent(test.targets(),
+                                               predictions);
+        ++folds;
+    }
+    return folds ? errSum / folds : 0.0;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Ablation - Section V-C range normalization vs. raw features");
+
+    const double normalized =
+        bench::schemeLoocvError(predictor::fullScheme());
+    const double rawErr = loocvUnnormalized();
+
+    TextTable table("LOOCV relative error (%)");
+    table.setHeader({"pipeline", "error(%)"});
+    table.addRow({"CPU-time-range normalization (paper)",
+                  formatDouble(normalized, 2)});
+    table.addRow({"no normalization", formatDouble(rawErr, 2)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("CART splits are monotone-invariant, so the two agree "
+                "up to tie-breaking; the paper's normalization mainly "
+                "conditions the regression targets.\n");
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Ablation: the decision tree's depth and leaf-size hyper-parameters
+ * (the paper names depth as the pre-specified knob, Section II-B.3).
+ * Sweeps both over the campaign LOOCV.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace mapp;
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Ablation - decision-tree depth / min-samples-leaf sweep "
+        "(full features, LOOCV)");
+
+    TextTable table("LOOCV relative error (%)");
+    table.setHeader({"max depth", "leaf>=1", "leaf>=2", "leaf>=4"});
+    for (int depth : {2, 3, 4, 5, 6, 8, 10, 12}) {
+        std::vector<double> row;
+        for (int leaf : {1, 2, 4}) {
+            predictor::PredictorParams params;
+            params.tree.maxDepth = depth;
+            params.tree.minSamplesLeaf = leaf;
+            row.push_back(predictor::MultiAppPredictor::looBenchmarkCv(
+                              bench::campaignDataset(), params,
+                              bench::benchmarkNames())
+                              .meanRelativeError());
+        }
+        table.addRow("depth " + std::to_string(depth), row, 2);
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Extension (the paper's open problem, Section VII): bags of more than
+ * two applications. Trains the standard 2-app predictor, then measures
+ * how the simulated GPU behaves for 3- and 4-app homogeneous bags and
+ * how far a naive extrapolation of the 2-app predictor drifts.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "ml/metrics.h"
+
+using namespace mapp;
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Extension - beyond 2-app bags (paper Section VII open "
+        "problem)");
+
+    predictor::MultiAppPredictor model;
+    model.train(bench::campaignPoints());
+
+    TextTable table(
+        "homogeneous bags of k instances: measured GPU makespan vs. "
+        "naive chained 2-app prediction");
+    table.setHeader({"bench", "k", "measured(ms)", "naive pred(ms)",
+                     "rel err(%)"});
+
+    for (auto id : {vision::BenchmarkId::Hog, vision::BenchmarkId::Surf,
+                    vision::BenchmarkId::Sift}) {
+        const predictor::BagMember m{id, 20};
+        const auto homo2 =
+            bench::collector().collect(predictor::BagSpec{m, m});
+        const auto scaling =
+            bench::collector().gpuHomogeneousScaling(m, 4);
+        const double pred2 = model.predict(homo2);
+        for (int k = 2; k <= 4; ++k) {
+            // Naive extrapolation: the 2-app prediction scaled by k/2
+            // (what a scheduler without a k-app model would assume).
+            const double naive =
+                pred2 * static_cast<double>(k) / 2.0;
+            const double measured =
+                scaling[static_cast<std::size_t>(k - 1)];
+            table.addRow({vision::benchmarkName(id), std::to_string(k),
+                          formatDouble(measured * 1e3, 3),
+                          formatDouble(naive * 1e3, 3),
+                          formatDouble(ml::relativeErrorPercent(
+                                           measured, naive),
+                                       1)});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "the drift at k > 2 is why the paper calls variable bag sizes "
+        "an open problem: interference is not linear in k.\n");
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Section VI-A's correlation claim: the CPU time of a benchmark is
+ * strongly positively correlated (paper: 0.95) with the bag's GPU
+ * execution time. Prints Pearson and Spearman correlations of every
+ * per-app time feature and fairness against the target.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/stats.h"
+
+using namespace mapp;
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Section VI-A - feature/target correlations over the campaign");
+
+    const auto& data = bench::campaignDataset();
+    TextTable table("correlation with the bag GPU time");
+    table.setHeader({"feature", "pearson", "spearman"});
+    for (const std::string name :
+         {"a0_cpu_time", "a1_cpu_time", "a0_gpu_time", "a1_gpu_time",
+          "a0_mem_rd", "a0_sse", "a0_ctrl", "fairness"}) {
+        const auto col = data.column(
+            static_cast<std::size_t>(data.featureIndex(name)));
+        table.addRow({name,
+                      formatDouble(stats::pearson(col, data.targets()), 3),
+                      formatDouble(stats::spearman(col, data.targets()),
+                                   3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const auto cpu = data.column(
+        static_cast<std::size_t>(data.featureIndex("a0_cpu_time")));
+    std::printf("paper: corr(CPU time, bag GPU time) = 0.95; measured "
+                "%.3f\n",
+                stats::pearson(cpu, data.targets()));
+    return 0;
+}

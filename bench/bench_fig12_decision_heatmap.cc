@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 12: snapshot of the per-test-point feature-usage heatmap. One
+ * row per LOOCV test point (the first 26, like the paper's t1..t26),
+ * one column per base feature; cells count how often the feature is
+ * used on that point's decision path.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "predictor/decision_analysis.h"
+
+using namespace mapp;
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Figure 12 - heatmap of feature usage per test point (first 26 "
+        "points)");
+
+    const auto stats = predictor::analyzeDecisionPaths(
+        bench::campaignDataset(), predictor::PredictorParams{},
+        bench::benchmarkNames());
+
+    TextTable table("decision-node usage counts (t1..t26)");
+    std::vector<std::string> header{"test point"};
+    for (const auto& f : stats.features)
+        header.push_back(f);
+    table.setHeader(header);
+
+    const std::size_t shown =
+        std::min<std::size_t>(stats.points.size(), 26);
+    for (std::size_t i = 0; i < shown; ++i) {
+        const auto& point = stats.points[i];
+        std::vector<std::string> row{"t" + std::to_string(i + 1) + " (" +
+                                     point.pointLabel + ")"};
+        for (const auto& f : stats.features) {
+            const auto it = point.counts.find(f);
+            row.push_back(std::to_string(
+                it == point.counts.end() ? 0 : it->second));
+        }
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 1: CPU performance with multi-application concurrency. For
+ * every benchmark, runs 1-4 homogeneous instances on the multicore
+ * simulator and prints per-instance performance (1 / makespan)
+ * normalized to the single-instance run — the paper's bar series.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace mapp;
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Figure 1 - CPU performance vs. homogeneous instance count "
+        "(normalized to 1 instance)");
+
+    constexpr int kMaxInstances = 4;
+    std::vector<std::string> groups;
+    std::vector<std::vector<double>> values;
+    TextTable table("normalized CPU performance (higher is better)");
+    table.setHeader({"bench", "1", "2", "3", "4"});
+
+    for (auto id : vision::kAllBenchmarks) {
+        const auto times =
+            bench::collector().cpuHomogeneousScaling({id, 20},
+                                                     kMaxInstances);
+        std::vector<double> series;
+        for (double t : times)
+            series.push_back(times[0] / t);
+        table.addRow(vision::benchmarkName(id), series, 3);
+        groups.push_back(vision::benchmarkName(id));
+        values.push_back(series);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%s\n",
+                renderGroupedBars("", groups, {"1", "2", "3", "4"},
+                                  values, 40)
+                    .c_str());
+    return 0;
+}

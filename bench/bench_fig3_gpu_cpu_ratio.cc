@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 3: GPU / CPU performance with multi-application concurrency.
+ * For every benchmark and instance count, the ratio of GPU performance
+ * to CPU performance (values > 1 mean the GPU wins). The paper found
+ * the GPU ahead for most single-instance runs (exceptions: FAST, ORB,
+ * SVM) but scaling worse as instances are added.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace mapp;
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Figure 3 - GPU/CPU performance ratio vs. instance count");
+
+    constexpr int kMaxInstances = 4;
+    TextTable table("GPU/CPU performance ratio (>1: GPU wins)");
+    table.setHeader({"bench", "1", "2", "3", "4"});
+
+    std::vector<Bar> singleInstance;
+    for (auto id : vision::kAllBenchmarks) {
+        const auto cpu =
+            bench::collector().cpuHomogeneousScaling({id, 20},
+                                                     kMaxInstances);
+        const auto gpu =
+            bench::collector().gpuHomogeneousScaling({id, 20},
+                                                     kMaxInstances);
+        std::vector<double> series;
+        for (int k = 0; k < kMaxInstances; ++k)
+            series.push_back(cpu[static_cast<std::size_t>(k)] /
+                             gpu[static_cast<std::size_t>(k)]);
+        table.addRow(vision::benchmarkName(id), series, 3);
+        singleInstance.push_back(
+            {vision::benchmarkName(id), series[0]});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%s\n",
+                renderBarChart("single-instance GPU/CPU ratio",
+                               singleInstance, 40, "x")
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Figure 5: comparison with related work. Four feature schemes — the
+ * instruction mix alone (Baldini et al.'s feature family), +CPU time,
+ * +fairness, and the full Table-IV vector — evaluated with the paper's
+ * LOOCV. The paper reports 144.6% -> 57.05% -> 37.7% -> 9.05%.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace mapp;
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Figure 5 - comparison with related-work feature sets (LOOCV "
+        "relative error)");
+
+    std::vector<Bar> bars;
+    TextTable table("scheme errors (paper: 144.6 / 57.05 / 37.7 / 9.05)");
+    table.setHeader({"feature scheme", "error(%)"});
+    for (const auto& scheme : predictor::figure5Schemes()) {
+        const double err = bench::schemeLoocvError(scheme);
+        table.addRow({scheme.name, formatDouble(err, 2)});
+        bars.push_back({scheme.name, err});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("%s\n",
+                renderBarChart("LOOCV relative error", bars, 40, "%")
+                    .c_str());
+    return 0;
+}

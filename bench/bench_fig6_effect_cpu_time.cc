@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 6: effect of the CPU time feature. For every base feature
+ * combination in the sensitivity sweep, reports the LOOCV error without
+ * and with CPU time added to the feature vector.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace mapp;
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Figure 6 - effect of CPU time on the prediction error");
+
+    TextTable table("LOOCV relative error without / with cpu_time");
+    table.setHeader({"base combination", "without(%)", "with(%)",
+                     "delta(%)"});
+    for (const auto& base : predictor::sensitivityBaseSchemes()) {
+        const double without = bench::schemeLoocvError(base);
+        const double with = bench::schemeLoocvError(base.with("cpu"));
+        table.addRow({base.name, formatDouble(without, 2),
+                      formatDouble(with, 2),
+                      formatDouble(with - without, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

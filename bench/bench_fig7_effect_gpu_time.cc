@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Figure 7: effect of the GPU time feature. Same sweep as Figure 6 but
+ * adding the single-instance GPU time; the paper found this the most
+ * powerful single addition (Insight 3).
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace mapp;
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Figure 7 - effect of GPU time on the prediction error");
+
+    TextTable table("LOOCV relative error without / with gpu_time");
+    table.setHeader({"base combination", "without(%)", "with(%)",
+                     "delta(%)"});
+    for (const auto& base : predictor::sensitivityBaseSchemes()) {
+        const double without = bench::schemeLoocvError(base);
+        const double with = bench::schemeLoocvError(base.with("gpu"));
+        table.addRow({base.name, formatDouble(without, 2),
+                      formatDouble(with, 2),
+                      formatDouble(with - without, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 8: effect of the instruction mix. Time/fairness feature
+ * combinations evaluated without and with the full instruction mix
+ * added; the paper found the mix helps alongside CPU time but adds
+ * little on top of GPU time.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace mapp;
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Figure 8 - effect of the instruction mix on the prediction "
+        "error");
+
+    std::vector<predictor::FeatureScheme> bases;
+    {
+        predictor::FeatureScheme s;
+        s.name = "cpu";
+        s.cpuTime = true;
+        bases.push_back(s);
+        bases.push_back(s.with("fairness"));
+    }
+    {
+        predictor::FeatureScheme s;
+        s.name = "gpu";
+        s.gpuTime = true;
+        bases.push_back(s);
+        bases.push_back(s.with("fairness"));
+    }
+    {
+        predictor::FeatureScheme s;
+        s.name = "cpu+gpu";
+        s.cpuTime = true;
+        s.gpuTime = true;
+        bases.push_back(s);
+        bases.push_back(s.with("fairness"));
+    }
+
+    TextTable table("LOOCV relative error without / with insmix");
+    table.setHeader({"base combination", "without(%)", "with(%)",
+                     "delta(%)"});
+    for (const auto& base : bases) {
+        const double without = bench::schemeLoocvError(base);
+        const double with = bench::schemeLoocvError(base.with("insmix"));
+        table.addRow({base.name, formatDouble(without, 2),
+                      formatDouble(with, 2),
+                      formatDouble(with - without, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

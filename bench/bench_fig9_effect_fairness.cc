@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 9: effect of the fairness feature. Feature combinations
+ * evaluated without and with the Equation-2 fairness added; the last
+ * row is the paper's full feature vector.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace mapp;
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Figure 9 - effect of fairness on the prediction error");
+
+    std::vector<predictor::FeatureScheme> bases;
+    bases.push_back(predictor::insmixScheme());
+    {
+        predictor::FeatureScheme s = predictor::insmixScheme();
+        s.cpuTime = true;
+        s.name = "insmix+cpu";
+        bases.push_back(s);
+    }
+    {
+        predictor::FeatureScheme s;
+        s.name = "cpu";
+        s.cpuTime = true;
+        bases.push_back(s);
+    }
+    {
+        predictor::FeatureScheme s;
+        s.name = "gpu";
+        s.gpuTime = true;
+        bases.push_back(s);
+    }
+    {
+        predictor::FeatureScheme s = predictor::insmixScheme();
+        s.cpuTime = true;
+        s.gpuTime = true;
+        s.name = "insmix+cpu+gpu (full w/o fairness)";
+        bases.push_back(s);
+    }
+
+    TextTable table("LOOCV relative error without / with fairness");
+    table.setHeader({"base combination", "without(%)", "with(%)",
+                     "delta(%)"});
+    for (const auto& base : bases) {
+        const double without = bench::schemeLoocvError(base);
+        const double with =
+            bench::schemeLoocvError(base.with("fairness"));
+        table.addRow({base.name, formatDouble(without, 2),
+                      formatDouble(with, 2),
+                      formatDouble(with - without, 2)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Section V-D's model comparison: the decision tree vs. SVR (and, as
+ * extra context, linear regression and a random forest) on the full
+ * feature vector under the paper's LOOCV. The paper reports SVR's
+ * error at ~10x the decision tree's on this sparse dataset.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "ml/linear_regression.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "ml/svr.h"
+
+using namespace mapp;
+
+namespace {
+
+/** LOOCV with an arbitrary regressor over the normalized full vector. */
+template <typename MakeModel>
+double
+loocvWith(MakeModel make)
+{
+    const auto& raw = bench::campaignDataset();
+    const auto scheme = predictor::fullScheme();
+    double errSum = 0.0;
+    int folds = 0;
+    for (const auto& bench : bench::benchmarkNames()) {
+        auto [train, test] = predictor::splitOutBenchmark(raw, bench);
+        if (train.empty() || test.empty())
+            continue;
+        const auto trainProj = train.selectFeatures(scheme.featureNames());
+        const auto testProj = test.selectFeatures(scheme.featureNames());
+        predictor::RangeNormalizer norm;
+        norm.fit(trainProj);
+        const auto trainNorm = norm.apply(trainProj);
+        const auto testNorm = norm.apply(testProj);
+
+        auto model = make();
+        model.fit(trainNorm);
+        const auto predictions = model.predict(testNorm);
+        errSum += ml::meanRelativeErrorPercent(testNorm.targets(),
+                                               predictions);
+        ++folds;
+    }
+    return folds ? errSum / folds : 0.0;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Section V-D - regression model comparison (full features, "
+        "LOOCV)");
+
+    const double dtree =
+        loocvWith([] { return ml::DecisionTreeRegressor{}; });
+    const double svr = loocvWith([] { return ml::SvrRegressor{}; });
+    const double linear =
+        loocvWith([] { return ml::LinearRegression{}; });
+    const double forest =
+        loocvWith([] { return ml::RandomForestRegressor{}; });
+
+    TextTable table("model errors");
+    table.setHeader({"model", "LOOCV error(%)", "vs decision tree"});
+    table.addRow({"decision tree", formatDouble(dtree, 2), "1.0x"});
+    table.addRow({"SVR (RBF)", formatDouble(svr, 2),
+                  formatDouble(svr / dtree, 1) + "x"});
+    table.addRow({"linear regression", formatDouble(linear, 2),
+                  formatDouble(linear / dtree, 1) + "x"});
+    table.addRow({"random forest", formatDouble(forest, 2),
+                  formatDouble(forest / dtree, 1) + "x"});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper: SVR error ~10x the decision tree's; measured "
+                "%.1fx\n",
+                svr / dtree);
+    return 0;
+}

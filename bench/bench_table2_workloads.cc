@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Table II: the nine vision benchmarks. Runs each kernel on its standard
+ * batch, prints the MICA characterization (instruction mix, footprint,
+ * behavioural attributes) and the measured single-instance times.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "profiler/mica.h"
+
+using namespace mapp;
+
+int
+main()
+{
+    bench::printSystemHeader(
+        "Table II - benchmark suite characterization (batch = 20)");
+
+    TextTable table("Workloads (derived from MEVBench, Table II)");
+    table.setHeader({"bench", "insts(M)", "mem%", "arith%", "fp%", "sse%",
+                     "ctrl%", "CPU time(ms)", "GPU time(ms)",
+                     "description"});
+    for (auto id : vision::kAllBenchmarks) {
+        const predictor::BagMember m{id, 20};
+        const auto& trace = vision::cachedTrace(id, 20);
+        const auto mica = profiler::characterize(trace);
+        const auto& f = bench::collector().appFeatures(m);
+        table.addRow(
+            {vision::benchmarkName(id),
+             formatDouble(static_cast<double>(mica.instructions) / 1e6, 1),
+             formatDouble(mica.memPercent(), 1),
+             formatDouble(mica.percent(isa::InstClass::IntAlu), 1),
+             formatDouble(mica.percent(isa::InstClass::FpAlu), 1),
+             formatDouble(mica.percent(isa::InstClass::Simd), 1),
+             formatDouble(mica.percent(isa::InstClass::Control), 1),
+             formatDouble(f.cpuTime * 1e3, 3),
+             formatDouble(f.gpuTime * 1e3, 3),
+             vision::benchmarkDescription(id).substr(0, 40)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table IV: the feature list. Prints every feature of the bag feature
+ * vector with its description, per-feature range over the campaign, and
+ * its Pearson correlation with the prediction target (the bag's GPU
+ * execution time) — the quantitative backdrop for Section V-A.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/stats.h"
+
+using namespace mapp;
+
+namespace {
+
+std::string
+describe(const std::string& base)
+{
+    if (base == "cpu_time")
+        return "execution time on the CPU (single instance)";
+    if (base == "gpu_time")
+        return "execution time on the GPU (single instance)";
+    if (base == "fairness")
+        return "fairness of concurrent multi-app execution (Eq. 2)";
+    if (base == "sse")
+        return "% of SSE instructions";
+    if (base == "arith")
+        return "% of arithmetic instructions";
+    if (base == "mem_rd")
+        return "% of load instructions";
+    if (base == "mem_wr")
+        return "% of store instructions";
+    if (base == "fp")
+        return "% of floating point instructions";
+    if (base == "stack")
+        return "% of stack push/pop instructions";
+    if (base == "string")
+        return "% of string operations";
+    if (base == "shift")
+        return "% of multiply/shift operations";
+    if (base == "ctrl")
+        return "% of control/branch instructions";
+    return "";
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::printSystemHeader("Table IV - feature list over the campaign");
+    const auto& data = bench::campaignDataset();
+
+    TextTable table("Features (a0_/a1_ blocks replicated per app)");
+    table.setHeader(
+        {"feature", "min", "max", "corr(target)", "description"});
+    for (std::size_t f = 0; f < data.numFeatures(); ++f) {
+        const auto col = data.column(f);
+        const auto& name = data.featureNames()[f];
+        table.addRow({name, formatDouble(stats::minimum(col), 4),
+                      formatDouble(stats::maximum(col), 4),
+                      formatDouble(stats::pearson(col, data.targets()), 3),
+                      describe(predictor::baseNameOf(name))});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("data points: %zu (91-run campaign), target: bag GPU "
+                "execution time\n",
+                data.size());
+    return 0;
+}

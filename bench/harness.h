@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench binaries: one-time campaign
+ * collection, the Table-III system header, and fold-error utilities.
+ * Header-only; every bench binary is its own process and collects the
+ * campaign once (a couple of seconds on the simulated testbed).
+ */
+
+#ifndef MAPP_BENCH_HARNESS_H
+#define MAPP_BENCH_HARNESS_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "predictor/data_collection.h"
+#include "predictor/predictor.h"
+#include "predictor/schemes.h"
+
+namespace mapp::bench {
+
+/** The process-wide data collector (memoizes per-app measurements). */
+inline predictor::DataCollector&
+collector()
+{
+    static predictor::DataCollector instance;
+    return instance;
+}
+
+/** The 91-run campaign, collected once per process. */
+inline const std::vector<predictor::DataPoint>&
+campaignPoints()
+{
+    static const std::vector<predictor::DataPoint> points =
+        collector().collectAll(predictor::DataCollector::campaign91());
+    return points;
+}
+
+/** The campaign as a raw (unnormalized) dataset. */
+inline const ml::Dataset&
+campaignDataset()
+{
+    static const ml::Dataset data =
+        predictor::toDataset(campaignPoints());
+    return data;
+}
+
+/** Paper-order benchmark display names. */
+inline std::vector<std::string>
+benchmarkNames()
+{
+    std::vector<std::string> names;
+    for (auto id : vision::kAllBenchmarks)
+        names.push_back(vision::benchmarkName(id));
+    return names;
+}
+
+/** Print the simulated Table-III baseline configuration. */
+inline void
+printSystemHeader(const std::string& title)
+{
+    const auto& cpu = collector().cpuSim().config();
+    const auto& gpu = collector().gpuSim().config();
+    std::printf("== %s ==\n", title.c_str());
+    std::printf(
+        "simulated testbed (Table III): CPU %d cores x %d-way SMT @ "
+        "%.1f GHz, %.0f MiB LLC, %.0f GB/s | GPU %d SMs x %d cores @ "
+        "%.2f GHz, %llu MiB L2, %.0f GB/s, MPS enabled\n\n",
+        cpu.physicalCores, cpu.smtWays, cpu.frequency / 1e9,
+        static_cast<double>(cpu.llcSize) / (1 << 20),
+        cpu.memBandwidth / 1e9, gpu.numSms, gpu.coresPerSm,
+        gpu.frequency / 1e9,
+        static_cast<unsigned long long>(gpu.l2Size >> 20),
+        gpu.memBandwidth / 1e9);
+}
+
+/** LOOCV mean relative error of a feature scheme on the campaign. */
+inline double
+schemeLoocvError(const predictor::FeatureScheme& scheme)
+{
+    predictor::PredictorParams params;
+    params.scheme = scheme;
+    return predictor::MultiAppPredictor::looBenchmarkCv(
+               campaignDataset(), params, benchmarkNames())
+        .meanRelativeError();
+}
+
+}  // namespace mapp::bench
+
+#endif  // MAPP_BENCH_HARNESS_H

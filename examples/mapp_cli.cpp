@@ -1,0 +1,177 @@
+/**
+ * @file
+ * mapp_cli — command-line front end to the whole pipeline.
+ *
+ *   mapp_cli collect <out.csv>        measure the 91-run campaign and
+ *                                     write it as a dataset CSV
+ *   mapp_cli loocv [insmix|full]      run the paper's LOOCV and print
+ *                                     the per-benchmark fold errors
+ *   mapp_cli predict A@20 B@80        train on the campaign, predict
+ *                                     the bag's GPU time and explain it
+ *   mapp_cli trace SIFT 40 <out.csv>  profile one workload and dump its
+ *                                     phase trace
+ *   mapp_cli tree                     print the trained decision tree
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/log.h"
+#include "isa/trace_io.h"
+#include "ml/dataset_io.h"
+#include "predictor/data_collection.h"
+#include "predictor/predictor.h"
+#include "predictor/schemes.h"
+
+using namespace mapp;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  mapp_cli collect <out.csv>\n"
+                 "  mapp_cli loocv [insmix|full]\n"
+                 "  mapp_cli predict <BENCH@BATCH> <BENCH@BATCH>\n"
+                 "  mapp_cli trace <BENCH> <BATCH> <out.csv>\n"
+                 "  mapp_cli tree\n");
+    return 2;
+}
+
+/** Parse "SIFT@40" into a bag member. */
+predictor::BagMember
+parseMember(const std::string& text)
+{
+    const auto at = text.find('@');
+    if (at == std::string::npos)
+        fatal("expected BENCH@BATCH, got " + text);
+    predictor::BagMember m;
+    m.id = vision::benchmarkFromName(text.substr(0, at));
+    m.batchSize = std::stoi(text.substr(at + 1));
+    if (m.batchSize <= 0)
+        fatal("batch size must be positive");
+    return m;
+}
+
+std::vector<std::string>
+benchNames()
+{
+    std::vector<std::string> names;
+    for (auto id : vision::kAllBenchmarks)
+        names.push_back(vision::benchmarkName(id));
+    return names;
+}
+
+int
+cmdCollect(const std::string& path)
+{
+    predictor::DataCollector collector;
+    std::printf("collecting the 91-run campaign...\n");
+    const auto points =
+        collector.collectAll(predictor::DataCollector::campaign91());
+    ml::writeDatasetFile(predictor::toDataset(points), path);
+    std::printf("wrote %zu data points to %s\n", points.size(),
+                path.c_str());
+    return 0;
+}
+
+int
+cmdLoocv(const std::string& schemeName)
+{
+    predictor::PredictorParams params;
+    if (schemeName == "insmix")
+        params.scheme = predictor::insmixScheme();
+    else if (!schemeName.empty() && schemeName != "full")
+        fatal("unknown scheme " + schemeName);
+
+    predictor::DataCollector collector;
+    const auto raw = predictor::toDataset(
+        collector.collectAll(predictor::DataCollector::campaign91()));
+    const auto cv = predictor::MultiAppPredictor::looBenchmarkCv(
+        raw, params, benchNames());
+    for (const auto& fold : cv.folds)
+        std::printf("%-8s %7.2f%%  (%zu points)\n", fold.label.c_str(),
+                    fold.meanRelativeError, fold.testPoints);
+    std::printf("mean     %7.2f%%\n", cv.meanRelativeError());
+    return 0;
+}
+
+int
+cmdPredict(const std::string& a, const std::string& b)
+{
+    const predictor::BagSpec spec{parseMember(a), parseMember(b)};
+
+    predictor::DataCollector collector;
+    std::printf("training on the 91-run campaign...\n");
+    predictor::MultiAppPredictor model;
+    model.train(collector.collectAll(
+        predictor::DataCollector::campaign91()));
+
+    const auto truth = collector.collect(spec);
+    const auto e = model.explain(truth);
+    std::printf("bag %s\n", spec.canonical().label().c_str());
+    std::printf("  predicted GPU time : %.6f s\n", e.predictedSeconds);
+    std::printf("  measured GPU time  : %.6f s\n", truth.gpuBagTime);
+    std::printf("  fairness (Eq. 2)   : %.3f\n", truth.fairness);
+    std::printf("  decision path:\n");
+    for (const auto& step : e.path)
+        std::printf(
+            "    %s <= %.4f -> %s\n",
+            e.featureNames[static_cast<std::size_t>(step.feature)]
+                .c_str(),
+            step.threshold, step.wentLeft ? "yes" : "no");
+    return 0;
+}
+
+int
+cmdTrace(const std::string& bench, const std::string& batch,
+         const std::string& path)
+{
+    const auto id = vision::benchmarkFromName(bench);
+    const int batchSize = std::stoi(batch);
+    const auto trace = vision::profileWorkload(id, batchSize);
+    isa::writeTraceFile(trace, path);
+    std::printf("%s\nwrote %zu phases to %s\n", trace.summary().c_str(),
+                trace.size(), path.c_str());
+    return 0;
+}
+
+int
+cmdTree()
+{
+    predictor::DataCollector collector;
+    predictor::MultiAppPredictor model;
+    model.train(collector.collectAll(
+        predictor::DataCollector::campaign91()));
+    std::printf("%s", model.tree().toText().c_str());
+    return 0;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "collect" && argc == 3)
+            return cmdCollect(argv[2]);
+        if (cmd == "loocv")
+            return cmdLoocv(argc >= 3 ? argv[2] : "");
+        if (cmd == "predict" && argc == 4)
+            return cmdPredict(argv[2], argv[3]);
+        if (cmd == "trace" && argc == 5)
+            return cmdTrace(argv[2], argv[3], argv[4]);
+        if (cmd == "tree")
+            return cmdTree();
+    } catch (const FatalError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Minimal CSV reading and writing used to persist collected datasets and
+ * experiment outputs. Values containing commas, quotes or newlines are
+ * quoted per RFC 4180.
+ */
+
+#ifndef MAPP_COMMON_CSV_H
+#define MAPP_COMMON_CSV_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mapp {
+
+/** In-memory CSV table: a header row plus data rows of strings. */
+struct CsvTable
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    /** Index of a header column, or -1 if absent. */
+    int columnIndex(const std::string& name) const;
+
+    /** A whole column parsed as doubles (throws on parse failure). */
+    std::vector<double> numericColumn(const std::string& name) const;
+};
+
+/** Incremental CSV writer. */
+class CsvWriter
+{
+  public:
+    /** Write to the given stream; the stream must outlive the writer. */
+    explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+    /** Emit the header row. */
+    void writeHeader(const std::vector<std::string>& names);
+
+    /** Emit one row of string cells. */
+    void writeRow(const std::vector<std::string>& cells);
+
+    /** Emit one row of numeric cells with full precision. */
+    void writeNumericRow(const std::vector<double>& cells);
+
+  private:
+    std::ostream& os_;
+};
+
+/** Parse CSV text (first row is the header). */
+CsvTable parseCsv(const std::string& text);
+
+/** Read and parse a CSV file. @throws std::runtime_error on I/O error. */
+CsvTable readCsvFile(const std::string& path);
+
+/** Serialize a table back to CSV text. */
+std::string toCsv(const CsvTable& table);
+
+/** Quote a single cell if needed. */
+std::string csvEscape(const std::string& cell);
+
+}  // namespace mapp
+
+#endif  // MAPP_COMMON_CSV_H

@@ -1,0 +1,57 @@
+#include "common/log.h"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace mapp {
+
+namespace {
+LogLevel gLevel = LogLevel::Normal;
+}  // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+inform(const std::string& msg)
+{
+    if (gLevel != LogLevel::Quiet)
+        std::cerr << "info: " << msg << '\n';
+}
+
+void
+verbose(const std::string& msg)
+{
+    if (gLevel == LogLevel::Verbose)
+        std::cerr << "debug: " << msg << '\n';
+}
+
+void
+warn(const std::string& msg)
+{
+    std::cerr << "warn: " << msg << '\n';
+}
+
+void
+fatal(const std::string& msg)
+{
+    throw FatalError(msg);
+}
+
+void
+panic(const std::string& msg)
+{
+    std::cerr << "panic: " << msg << '\n';
+    std::abort();
+}
+
+}  // namespace mapp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tiny leveled logging with gem5-style fatal/panic semantics:
+ *  - panic()  — internal invariant broken (a MAPP bug); aborts.
+ *  - fatal()  — user/configuration error; throws so callers and tests can
+ *               observe it without killing the process.
+ *  - warn()/inform() — advisory messages on stderr.
+ */
+
+#ifndef MAPP_COMMON_LOG_H
+#define MAPP_COMMON_LOG_H
+
+#include <stdexcept>
+#include <string>
+
+namespace mapp {
+
+/** Error thrown by fatal(): a user-correctable misconfiguration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Log verbosity control for inform(); warnings always print. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Set the global log level (default Normal). */
+void setLogLevel(LogLevel level);
+
+/** Get the global log level. */
+LogLevel logLevel();
+
+/** Print an informational message (suppressed when Quiet). */
+void inform(const std::string& msg);
+
+/** Print a verbose diagnostic (only when Verbose). */
+void verbose(const std::string& msg);
+
+/** Print a warning to stderr. */
+void warn(const std::string& msg);
+
+/** Throw FatalError for a user/configuration error. */
+[[noreturn]] void fatal(const std::string& msg);
+
+/** Abort for an internal invariant violation (a MAPP bug). */
+[[noreturn]] void panic(const std::string& msg);
+
+}  // namespace mapp
+
+#endif  // MAPP_COMMON_LOG_H

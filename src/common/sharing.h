@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Generic shared-resource arbitration helpers used by both performance
+ * simulators: max-min fair division of a channel among demands, and the
+ * classic utilization-to-latency queueing curve.
+ */
+
+#ifndef MAPP_COMMON_SHARING_H
+#define MAPP_COMMON_SHARING_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace mapp {
+
+/**
+ * Max-min fair division of a channel of capacity @p total among
+ * @p demands: demands below their fair share are fully granted and the
+ * surplus is split among the rest.
+ *
+ * @return granted rates per demand, summing to <= total
+ */
+std::vector<double> maxMinShare(const std::vector<double>& demands,
+                                double total);
+
+/**
+ * Latency multiplier from channel utilization u: 1 / (1 - u), with u
+ * clamped to 0.95 for stability.
+ */
+double queueingDelayFactor(double utilization);
+
+}  // namespace mapp
+
+#endif  // MAPP_COMMON_SHARING_H

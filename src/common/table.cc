@@ -1,0 +1,155 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace mapp {
+
+std::string
+formatDouble(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRow(const std::string& label,
+                  const std::vector<double>& values, int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(values.size() + 1);
+    row.push_back(label);
+    for (double v : values)
+        row.push_back(formatDouble(v, precision));
+    addRow(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    // Determine column widths.
+    std::size_t ncols = header_.size();
+    for (const auto& r : rows_)
+        ncols = std::max(ncols, r.size());
+    std::vector<std::size_t> widths(ncols, 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    widen(header_);
+    for (const auto& r : rows_)
+        widen(r);
+
+    std::ostringstream os;
+    auto rule = [&] {
+        os << '+';
+        for (auto w : widths)
+            os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string>& row) {
+        os << '|';
+        for (std::size_t i = 0; i < ncols; ++i) {
+            const std::string cell = i < row.size() ? row[i] : "";
+            os << ' ' << cell << std::string(widths[i] - cell.size() + 1, ' ')
+               << '|';
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << title_ << '\n';
+    rule();
+    if (!header_.empty()) {
+        emit(header_);
+        rule();
+    }
+    for (const auto& r : rows_)
+        emit(r);
+    rule();
+    return os.str();
+}
+
+std::string
+renderBarChart(const std::string& title, const std::vector<Bar>& bars,
+               int width, const std::string& unit)
+{
+    double maxVal = 0.0;
+    std::size_t maxLabel = 0;
+    for (const auto& b : bars) {
+        maxVal = std::max(maxVal, b.value);
+        maxLabel = std::max(maxLabel, b.label.size());
+    }
+    if (maxVal <= 0.0)
+        maxVal = 1.0;
+
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << '\n';
+    for (const auto& b : bars) {
+        const int len = static_cast<int>(
+            std::lround(b.value / maxVal * width));
+        os << "  " << b.label
+           << std::string(maxLabel - b.label.size() + 1, ' ') << '|'
+           << std::string(static_cast<std::size_t>(std::max(len, 0)), '#')
+           << ' ' << formatDouble(b.value, 2) << unit << '\n';
+    }
+    return os.str();
+}
+
+std::string
+renderGroupedBars(const std::string& title,
+                  const std::vector<std::string>& groupLabels,
+                  const std::vector<std::string>& seriesLabels,
+                  const std::vector<std::vector<double>>& values, int width,
+                  const std::string& unit)
+{
+    double maxVal = 0.0;
+    for (const auto& group : values)
+        for (double v : group)
+            maxVal = std::max(maxVal, v);
+    if (maxVal <= 0.0)
+        maxVal = 1.0;
+
+    std::size_t maxTick = 0;
+    for (const auto& s : seriesLabels)
+        maxTick = std::max(maxTick, s.size());
+
+    std::ostringstream os;
+    if (!title.empty())
+        os << title << '\n';
+    for (std::size_t g = 0; g < groupLabels.size() && g < values.size();
+         ++g) {
+        os << groupLabels[g] << '\n';
+        for (std::size_t s = 0;
+             s < seriesLabels.size() && s < values[g].size(); ++s) {
+            const double v = values[g][s];
+            const int len =
+                static_cast<int>(std::lround(v / maxVal * width));
+            os << "  " << seriesLabels[s]
+               << std::string(maxTick - seriesLabels[s].size() + 1, ' ')
+               << '|'
+               << std::string(static_cast<std::size_t>(std::max(len, 0)),
+                              '#')
+               << ' ' << formatDouble(v, 3) << unit << '\n';
+        }
+    }
+    return os.str();
+}
+
+}  // namespace mapp

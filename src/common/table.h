@@ -1,0 +1,76 @@
+/**
+ * @file
+ * ASCII rendering of tables and bar charts. The bench binaries use these
+ * to print the paper's figures as text: each figure becomes either a table
+ * of series values or a horizontal bar chart, so the trends (who wins, by
+ * what factor) are visible directly in terminal output.
+ */
+
+#ifndef MAPP_COMMON_TABLE_H
+#define MAPP_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace mapp {
+
+/** A printable table with a title, column headers and string cells. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a row where trailing cells are formatted numbers. */
+    void addRow(const std::string& label, const std::vector<double>& values,
+                int precision = 3);
+
+    /** Render with box-drawing separators. */
+    std::string render() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** One labeled bar in a bar chart. */
+struct Bar
+{
+    std::string label;
+    double value = 0.0;
+};
+
+/**
+ * Render a horizontal ASCII bar chart.
+ *
+ * @param title chart title line
+ * @param bars labeled values (non-negative)
+ * @param width maximum bar width in characters
+ * @param unit suffix printed after each value (e.g. "%")
+ */
+std::string renderBarChart(const std::string& title,
+                           const std::vector<Bar>& bars, int width = 50,
+                           const std::string& unit = "");
+
+/**
+ * Render grouped bars (e.g. per-benchmark series over instance counts).
+ * Each group shares a label; each series member gets a tick name.
+ */
+std::string renderGroupedBars(const std::string& title,
+                              const std::vector<std::string>& groupLabels,
+                              const std::vector<std::string>& seriesLabels,
+                              const std::vector<std::vector<double>>& values,
+                              int width = 40, const std::string& unit = "");
+
+/** Format a double with fixed precision. */
+std::string formatDouble(double v, int precision = 3);
+
+}  // namespace mapp
+
+#endif  // MAPP_COMMON_TABLE_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fundamental scalar type aliases shared across the MAPP libraries.
+ *
+ * All simulated quantities carry explicit units in their alias names so
+ * that call sites read unambiguously (e.g. a Seconds value is wall-clock
+ * simulated time, a Cycles value is clock ticks of whichever clock domain
+ * produced it).
+ */
+
+#ifndef MAPP_COMMON_TYPES_H
+#define MAPP_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace mapp {
+
+/** Simulated wall-clock time in seconds. */
+using Seconds = double;
+
+/** Clock ticks of a core/SM clock domain. */
+using Cycles = double;
+
+/** A byte count (footprints, traffic volumes). */
+using Bytes = std::uint64_t;
+
+/** A dynamic-instruction count. */
+using InstCount = std::uint64_t;
+
+/** Clock frequency in Hz. */
+using Hertz = double;
+
+/** Memory bandwidth in bytes per second. */
+using BytesPerSecond = double;
+
+/** Kibi/mebi/gibi helpers for readable configuration literals. */
+constexpr Bytes operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v << 30; }
+
+/** Frequency helpers. */
+constexpr Hertz operator""_MHz(long double v)
+{
+    return static_cast<Hertz>(v) * 1e6;
+}
+constexpr Hertz operator""_GHz(long double v)
+{
+    return static_cast<Hertz>(v) * 1e9;
+}
+
+}  // namespace mapp
+
+#endif  // MAPP_COMMON_TYPES_H

@@ -1,0 +1,30 @@
+#include "cpusim/cache_model.h"
+
+#include <algorithm>
+
+namespace mapp::cpusim {
+
+double
+llcMissRate(Bytes footprint, Bytes cache_share, double locality,
+            const CacheModelParams& params)
+{
+    if (cache_share == 0)
+        return params.maxMissRate;
+
+    const double pressure = static_cast<double>(footprint) /
+                            static_cast<double>(cache_share);
+    // Saturating capacity curve: 0 when the working set fits easily,
+    // approaching 1 when it vastly exceeds the share.
+    const double capacity = pressure / (pressure + params.capacityKnee);
+
+    // Strong temporal locality shields a phase from capacity pressure:
+    // its reuse happens before eviction.
+    const double exposure = 1.0 - 0.8 * locality;
+
+    const double rate =
+        params.baseMissRate +
+        (params.maxMissRate - params.baseMissRate) * capacity * exposure;
+    return std::clamp(rate, 0.0, 1.0);
+}
+
+}  // namespace mapp::cpusim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The shared-LLC miss model: converts a phase's working-set footprint,
+ * its temporal locality and its current share of the cache into an LLC
+ * miss rate. Capacity pressure follows a smooth saturating curve (a
+ * stack-distance-style approximation) so contention grows continuously
+ * as co-runners shrink an application's share.
+ */
+
+#ifndef MAPP_CPUSIM_CACHE_MODEL_H
+#define MAPP_CPUSIM_CACHE_MODEL_H
+
+#include "common/types.h"
+
+namespace mapp::cpusim {
+
+/** Parameters of the LLC miss model. */
+struct CacheModelParams
+{
+    /** Miss rate floor (compulsory misses). */
+    double baseMissRate = 0.02;
+
+    /** Miss rate ceiling for fully streaming, over-capacity phases. */
+    double maxMissRate = 0.85;
+
+    /**
+     * Shape of the capacity curve: pressure p = footprint / share maps to
+     * p / (p + knee).
+     */
+    double capacityKnee = 1.0;
+};
+
+/**
+ * LLC miss rate for a phase.
+ *
+ * @param footprint bytes the phase re-touches
+ * @param cache_share bytes of LLC currently available to the app
+ * @param locality phase temporal locality in [0, 1]
+ */
+double llcMissRate(Bytes footprint, Bytes cache_share, double locality,
+                   const CacheModelParams& params = {});
+
+}  // namespace mapp::cpusim
+
+#endif  // MAPP_CPUSIM_CACHE_MODEL_H

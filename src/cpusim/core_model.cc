@@ -1,0 +1,108 @@
+#include "cpusim/core_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mapp::cpusim {
+
+double
+effectiveParallelism(int threads, int logical_cores, const CpuConfig& config)
+{
+    threads = std::max(threads, 1);
+    logical_cores = std::max(logical_cores, 1);
+
+    const int physical =
+        std::min(threads, std::max(logical_cores / config.smtWays, 1));
+    const int smtSiblings =
+        std::min(std::max(threads - physical, 0),
+                 std::max(logical_cores - physical, 0));
+    const int oversubscribed =
+        std::max(threads - physical - smtSiblings, 0);
+
+    double eff = static_cast<double>(physical) +
+                 config.smtYield * static_cast<double>(smtSiblings);
+    // Oversubscribed threads add context-switch overhead, not speed.
+    eff /= 1.0 + config.oversubscriptionPenalty *
+                     static_cast<double>(oversubscribed);
+    return std::max(eff, 0.25);
+}
+
+PhaseTiming
+timePhase(const isa::KernelPhase& phase, const CpuAllocation& alloc,
+          const CpuConfig& config, const CacheModelParams& cache_params)
+{
+    PhaseTiming t;
+    const auto insts = static_cast<double>(phase.instructions());
+    if (insts == 0.0)
+        return t;
+
+    // Issue cycles: class-weighted CPI.
+    double issueCycles = 0.0;
+    for (isa::InstClass c : isa::kAllInstClasses) {
+        issueCycles += static_cast<double>(phase.mix.count(c)) *
+                       config.cpi[static_cast<std::size_t>(c)];
+    }
+    t.computeCycles = issueCycles;
+
+    // Branch misprediction stalls.
+    const auto branches =
+        static_cast<double>(phase.mix.count(isa::InstClass::Control));
+    const double mispredictRate =
+        config.baseMispredictRate +
+        config.divergenceMispredictRate * phase.branchDivergence;
+    t.branchCycles = branches * mispredictRate * config.branchPenaltyCycles;
+
+    // LLC miss stalls, partially hidden by memory-level parallelism and
+    // inflated by queueing at the memory controller.
+    const auto accesses =
+        static_cast<double>(phase.mix.count(isa::InstClass::MemRead) +
+                            phase.mix.count(isa::InstClass::MemWrite));
+    t.llcMissRate = llcMissRate(phase.footprint, alloc.llcShare,
+                                phase.locality, cache_params);
+    t.memoryCycles = accesses * t.llcMissRate * config.memLatencyCycles *
+                     (1.0 - config.mlpOverlap) * alloc.memQueueFactor;
+
+    const double totalCycles =
+        t.computeCycles + t.branchCycles + t.memoryCycles;
+
+    // Amdahl scaling over the effective thread-team parallelism.
+    t.effectiveParallelism =
+        effectiveParallelism(alloc.threads, alloc.logicalCores, config);
+    const double scaledCycles =
+        totalCycles * (1.0 - phase.parallelFraction) +
+        totalCycles * phase.parallelFraction / t.effectiveParallelism +
+        config.threadSpawnCycles * static_cast<double>(alloc.threads);
+
+    const Seconds coreTime = scaledCycles / config.frequency;
+
+    // Bandwidth lower bound: traffic beyond the LLC must drain through
+    // the granted share.
+    const double dramTraffic =
+        static_cast<double>(phase.traffic()) * t.llcMissRate;
+    t.bandwidthTime = alloc.bandwidthShare > 0.0
+                          ? dramTraffic / alloc.bandwidthShare
+                          : 0.0;
+
+    t.time = std::max(coreTime, t.bandwidthTime);
+    return t;
+}
+
+BytesPerSecond
+phaseBandwidthDemand(const isa::KernelPhase& phase,
+                     const CpuAllocation& alloc, const CpuConfig& config,
+                     const CacheModelParams& cache_params)
+{
+    // Demand = DRAM traffic / unconstrained core time.
+    CpuAllocation unconstrained = alloc;
+    unconstrained.bandwidthShare = 0.0;
+    unconstrained.memQueueFactor = 1.0;
+    const PhaseTiming t =
+        timePhase(phase, unconstrained, config, cache_params);
+    if (t.time <= 0.0)
+        return 0.0;
+    const double dramTraffic =
+        static_cast<double>(phase.traffic()) * t.llcMissRate;
+    return dramTraffic / t.time;
+}
+
+}  // namespace mapp::cpusim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The per-phase core timing model: converts one KernelPhase plus a
+ * resource allocation (threads, LLC share, bandwidth share) into
+ * execution time on the simulated multicore.
+ */
+
+#ifndef MAPP_CPUSIM_CORE_MODEL_H
+#define MAPP_CPUSIM_CORE_MODEL_H
+
+#include "common/types.h"
+#include "cpusim/cache_model.h"
+#include "cpusim/cpu_config.h"
+#include "isa/kernel_phase.h"
+
+namespace mapp::cpusim {
+
+/** The resources an app holds while a phase executes. */
+struct CpuAllocation
+{
+    /** Threads the app runs with (its OpenMP team size). */
+    int threads = 1;
+
+    /** Logical cores actually available to those threads. */
+    int logicalCores = 1;
+
+    /** Bytes of LLC available to the app. */
+    Bytes llcShare = 0;
+
+    /** Memory bandwidth granted to the app. */
+    BytesPerSecond bandwidthShare = 0.0;
+
+    /** Queueing multiplier on memory latency (>= 1). */
+    double memQueueFactor = 1.0;
+};
+
+/** Timing breakdown of one phase under one allocation. */
+struct PhaseTiming
+{
+    Seconds time = 0.0;          ///< wall-clock phase duration
+    Cycles computeCycles = 0.0;  ///< issue-bound cycles (one thread lane)
+    Cycles branchCycles = 0.0;   ///< misprediction stalls
+    Cycles memoryCycles = 0.0;   ///< LLC-miss latency stalls
+    Seconds bandwidthTime = 0.0; ///< bandwidth lower bound
+    double llcMissRate = 0.0;
+    double effectiveParallelism = 1.0;
+};
+
+/**
+ * Time one phase under an allocation.
+ *
+ * The model: class-weighted CPI for issue cycles, divergence-scaled
+ * branch penalties, LLC-miss latency stalls shaped by the cache model
+ * and partially hidden by MLP, Amdahl scaling over the effective
+ * parallelism of the thread team (SMT threads yield less than physical
+ * cores), and a bandwidth lower bound — the phase can never finish
+ * faster than its traffic drains through its granted bandwidth.
+ */
+PhaseTiming timePhase(const isa::KernelPhase& phase,
+                      const CpuAllocation& alloc, const CpuConfig& config,
+                      const CacheModelParams& cache_params = {});
+
+/**
+ * The effective parallel throughput of @p threads on @p logical_cores
+ * logical cores: physical cores count fully, SMT siblings add
+ * config.smtYield, and oversubscribed threads add nothing but overhead.
+ */
+double effectiveParallelism(int threads, int logical_cores,
+                            const CpuConfig& config);
+
+/**
+ * Bandwidth demand of a phase (bytes/sec) if it ran unconstrained —
+ * used to negotiate shares among co-runners.
+ */
+BytesPerSecond phaseBandwidthDemand(const isa::KernelPhase& phase,
+                                    const CpuAllocation& alloc,
+                                    const CpuConfig& config,
+                                    const CacheModelParams& cache_params = {});
+
+}  // namespace mapp::cpusim
+
+#endif  // MAPP_CPUSIM_CORE_MODEL_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Configuration of the simulated multicore server. Defaults model the
+ * paper's baseline (Table III): a 2-socket Intel Xeon Gold 5118 — 24
+ * physical cores, 48 logical with hyperthreading, 2.3 GHz, 128 GB of
+ * main memory behind ~115 GB/s of aggregate bandwidth and ~33 MiB of
+ * shared last-level cache.
+ */
+
+#ifndef MAPP_CPUSIM_CPU_CONFIG_H
+#define MAPP_CPUSIM_CPU_CONFIG_H
+
+#include <array>
+
+#include "common/types.h"
+#include "isa/inst_class.h"
+
+namespace mapp::cpusim {
+
+/** Simulated multicore CPU parameters. */
+struct CpuConfig
+{
+    /** Physical cores across both sockets. */
+    int physicalCores = 24;
+
+    /** SMT ways per core (hyperthreading). */
+    int smtWays = 2;
+
+    /** Core clock. */
+    Hertz frequency = 2.3e9;
+
+    /**
+     * Per-class effective CPI at L1-hit steady state (out-of-order issue
+     * overlap already folded in).
+     */
+    std::array<double, isa::kNumInstClasses> cpi = {
+        0.60,  // mem_rd (L1 latency partially hidden)
+        0.55,  // mem_wr
+        0.70,  // ctrl
+        0.28,  // arith
+        0.50,  // fp
+        0.45,  // stack
+        0.40,  // shift
+        0.80,  // string
+        0.55,  // sse
+    };
+
+    /** Shared last-level cache capacity (both sockets). */
+    Bytes llcSize = 33ull << 20;
+
+    /** Main-memory access latency (cycles, beyond the LLC). */
+    double memLatencyCycles = 220.0;
+
+    /** Fraction of memory latency hidden by out-of-order overlap / MLP. */
+    double mlpOverlap = 0.72;
+
+    /** Aggregate DRAM bandwidth. */
+    BytesPerSecond memBandwidth = 115e9;
+
+    /** Branch misprediction penalty in cycles. */
+    double branchPenaltyCycles = 14.0;
+
+    /** Baseline branch misprediction rate for non-divergent code. */
+    double baseMispredictRate = 0.01;
+
+    /** Extra misprediction rate per unit of branch divergence. */
+    double divergenceMispredictRate = 0.10;
+
+    /**
+     * Throughput gain of the second SMT thread on a busy core (a second
+     * hyperthread adds ~30%, not 100%).
+     */
+    double smtYield = 0.30;
+
+    /**
+     * Scheduling/migration overhead factor applied per additional
+     * co-runner when logical cores are oversubscribed.
+     */
+    double oversubscriptionPenalty = 0.012;
+
+    /**
+     * Fork/join cost per thread per phase (OpenMP team spawn and
+     * barrier) — this is what makes over-threading a serial phase a
+     * loss, so the best thread count is workload-dependent.
+     */
+    double threadSpawnCycles = 1500.0;
+
+    /** Total logical cores. */
+    int logicalCores() const { return physicalCores * smtWays; }
+};
+
+}  // namespace mapp::cpusim
+
+#endif  // MAPP_CPUSIM_CPU_CONFIG_H

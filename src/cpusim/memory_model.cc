@@ -1,0 +1,20 @@
+#include "cpusim/memory_model.h"
+
+#include "common/sharing.h"
+
+namespace mapp::cpusim {
+
+std::vector<BytesPerSecond>
+shareBandwidth(const std::vector<BytesPerSecond>& demands,
+               BytesPerSecond total)
+{
+    return maxMinShare(demands, total);
+}
+
+double
+queueingFactor(double utilization)
+{
+    return queueingDelayFactor(utilization);
+}
+
+}  // namespace mapp::cpusim

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * The shared memory-bandwidth model: queueing delay grows as the sum of
+ * co-runners' demands approaches the DRAM bandwidth (an M/M/1-style
+ * utilization curve), and each app's achievable bandwidth is its
+ * demand-proportional share.
+ */
+
+#ifndef MAPP_CPUSIM_MEMORY_MODEL_H
+#define MAPP_CPUSIM_MEMORY_MODEL_H
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace mapp::cpusim {
+
+/**
+ * Bandwidth each demand receives when sharing a channel of capacity
+ * @p total. Demands below their fair share keep what they ask for;
+ * the surplus is split among the rest (max-min fairness).
+ *
+ * @param demands requested bytes/sec per app
+ * @param total channel capacity in bytes/sec
+ * @return granted bytes/sec per app, summing to <= total
+ */
+std::vector<BytesPerSecond> shareBandwidth(
+    const std::vector<BytesPerSecond>& demands, BytesPerSecond total);
+
+/**
+ * Latency multiplier from channel utilization u in [0, 1): classic
+ * 1 / (1 - u) queueing growth, clamped for stability.
+ */
+double queueingFactor(double utilization);
+
+}  // namespace mapp::cpusim
+
+#endif  // MAPP_CPUSIM_MEMORY_MODEL_H

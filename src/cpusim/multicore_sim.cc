@@ -1,0 +1,187 @@
+#include "cpusim/multicore_sim.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+#include "cpusim/memory_model.h"
+
+namespace mapp::cpusim {
+
+MulticoreSim::MulticoreSim(CpuConfig config, CacheModelParams cache_params)
+    : config_(config), cacheParams_(cache_params)
+{
+}
+
+namespace {
+
+/** Mutable co-run state of one app. */
+struct AppState
+{
+    const isa::WorkloadTrace* trace = nullptr;
+    int threads = 1;
+    std::size_t phase = 0;
+    double phaseFraction = 0.0;  ///< progress through the current phase
+    Seconds finishTime = -1.0;
+
+    bool done() const { return phase >= trace->phases().size(); }
+    const isa::KernelPhase& currentPhase() const
+    {
+        return trace->phases()[phase];
+    }
+};
+
+}  // namespace
+
+BagCpuResult
+MulticoreSim::runShared(const std::vector<const isa::WorkloadTrace*>& traces,
+                        const std::vector<int>& threads) const
+{
+    if (traces.empty())
+        fatal("MulticoreSim::runShared: empty bag");
+    if (traces.size() != threads.size())
+        fatal("MulticoreSim::runShared: traces/threads size mismatch");
+
+    std::vector<AppState> apps(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        if (traces[i] == nullptr || traces[i]->empty())
+            fatal("MulticoreSim::runShared: empty trace in bag");
+        apps[i].trace = traces[i];
+        apps[i].threads = std::max(threads[i], 1);
+        if (traces[i]->phases().empty())
+            apps[i].finishTime = 0.0;
+    }
+
+    Seconds clock = 0.0;
+    // Guard against infinite loops from degenerate inputs.
+    const std::size_t maxEvents = 16 * 1024 * 1024;
+    std::size_t events = 0;
+
+    while (true) {
+        // Collect the active set.
+        std::vector<std::size_t> active;
+        for (std::size_t i = 0; i < apps.size(); ++i)
+            if (!apps[i].done())
+                active.push_back(i);
+        if (active.empty())
+            break;
+        if (++events > maxEvents)
+            panic("MulticoreSim: event limit exceeded");
+
+        // Divide cores and LLC equally among active apps.
+        const auto n = static_cast<int>(active.size());
+        const int coresEach =
+            std::max(config_.logicalCores() / n, 1);
+        const Bytes llcEach = config_.llcSize / static_cast<Bytes>(n);
+
+        // Bandwidth negotiation over the current phases' demands.
+        std::vector<CpuAllocation> allocs(active.size());
+        std::vector<BytesPerSecond> demands(active.size());
+        for (std::size_t k = 0; k < active.size(); ++k) {
+            auto& a = allocs[k];
+            a.threads = apps[active[k]].threads;
+            a.logicalCores = coresEach;
+            a.llcShare = llcEach;
+            demands[k] = phaseBandwidthDemand(
+                apps[active[k]].currentPhase(), a, config_, cacheParams_);
+        }
+        const auto granted = shareBandwidth(demands, config_.memBandwidth);
+        double totalDemand = 0.0;
+        for (double d : demands)
+            totalDemand += d;
+        const double utilization =
+            std::min(totalDemand / config_.memBandwidth, 1.0);
+        const double queue = queueingFactor(utilization);
+
+        // Phase durations under the current allocation.
+        std::vector<Seconds> remaining(active.size());
+        std::vector<Seconds> durations(active.size());
+        Seconds dt = std::numeric_limits<Seconds>::infinity();
+        for (std::size_t k = 0; k < active.size(); ++k) {
+            allocs[k].bandwidthShare = std::max(granted[k], 1.0);
+            allocs[k].memQueueFactor = queue;
+            const PhaseTiming t =
+                timePhase(apps[active[k]].currentPhase(), allocs[k],
+                          config_, cacheParams_);
+            durations[k] = std::max(t.time, 1e-15);
+            remaining[k] =
+                durations[k] * (1.0 - apps[active[k]].phaseFraction);
+            dt = std::min(dt, remaining[k]);
+        }
+
+        // Advance to the earliest phase completion.
+        clock += dt;
+        for (std::size_t k = 0; k < active.size(); ++k) {
+            AppState& app = apps[active[k]];
+            if (remaining[k] - dt <= durations[k] * 1e-12) {
+                app.phase += 1;
+                app.phaseFraction = 0.0;
+                if (app.done())
+                    app.finishTime = clock;
+            } else {
+                app.phaseFraction += dt / durations[k];
+            }
+        }
+    }
+
+    BagCpuResult result;
+    result.apps.reserve(apps.size());
+    for (const auto& app : apps) {
+        AppCpuResult r;
+        r.app = app.trace->app();
+        r.time = app.finishTime;
+        r.instructions = app.trace->totalInstructions();
+        r.ipc = app.finishTime > 0.0
+                    ? static_cast<double>(r.instructions) /
+                          (app.finishTime * config_.frequency)
+                    : 0.0;
+        result.makespan = std::max(result.makespan, r.time);
+        result.apps.push_back(std::move(r));
+    }
+    return result;
+}
+
+AppCpuResult
+MulticoreSim::runAlone(const isa::WorkloadTrace& trace, int threads) const
+{
+    const auto bag = runShared({&trace}, {threads});
+    return bag.apps.front();
+}
+
+std::vector<PhaseTiming>
+MulticoreSim::timeline(const isa::WorkloadTrace& trace,
+                       int threads) const
+{
+    CpuAllocation alloc;
+    alloc.threads = std::max(threads, 1);
+    alloc.logicalCores = config_.logicalCores();
+    alloc.llcShare = config_.llcSize;
+    alloc.bandwidthShare = config_.memBandwidth;
+    alloc.memQueueFactor = 1.0;
+
+    std::vector<PhaseTiming> out;
+    out.reserve(trace.size());
+    for (const auto& phase : trace.phases())
+        out.push_back(timePhase(phase, alloc, config_, cacheParams_));
+    return out;
+}
+
+int
+MulticoreSim::bestThreadCount(const isa::WorkloadTrace& trace) const
+{
+    static constexpr int kCandidates[] = {1, 2, 4, 8, 12, 16, 24, 32, 48};
+    int best = 1;
+    Seconds bestTime = std::numeric_limits<Seconds>::infinity();
+    for (int t : kCandidates) {
+        if (t > config_.logicalCores())
+            break;
+        const Seconds time = runAlone(trace, t).time;
+        if (time < bestTime) {
+            bestTime = time;
+            best = t;
+        }
+    }
+    return best;
+}
+
+}  // namespace mapp::cpusim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Configuration of the simulated GPU. Defaults model the paper's
+ * baseline accelerator (Table III): an NVIDIA Tesla T4 (Turing) — 40
+ * SMs x 64 CUDA cores = 2560 cores, ~1.59 GHz boost, 4 MiB shared L2,
+ * ~320 GB/s GDDR6, with CUDA MPS spatial multiplexing.
+ */
+
+#ifndef MAPP_GPUSIM_GPU_CONFIG_H
+#define MAPP_GPUSIM_GPU_CONFIG_H
+
+#include <array>
+
+#include "common/types.h"
+#include "isa/inst_class.h"
+
+namespace mapp::gpusim {
+
+/** Simulated GPU parameters. */
+struct GpuConfig
+{
+    /** Streaming multiprocessors. */
+    int numSms = 40;
+
+    /** CUDA cores per SM. */
+    int coresPerSm = 64;
+
+    /** SM clock. */
+    Hertz frequency = 1.59e9;
+
+    /** Warp width. */
+    int warpSize = 32;
+
+    /** Max resident threads per SM (occupancy ceiling). */
+    int maxThreadsPerSm = 1024;
+
+    /**
+     * Per-class issue throughput per SM in instructions/cycle (lanes
+     * usable for the class).
+     */
+    std::array<double, isa::kNumInstClasses> throughputPerSm = {
+        16.0,  // mem_rd (LSU lanes)
+        16.0,  // mem_wr
+        32.0,  // ctrl
+        64.0,  // arith
+        64.0,  // fp
+        16.0,  // stack (local memory traffic)
+        32.0,  // shift
+        8.0,   // string (byte-wise ops map poorly)
+        64.0,  // sse (maps to full-width SIMT lanes)
+    };
+
+    /** Shared L2 cache size. */
+    Bytes l2Size = 4ull << 20;
+
+    /** Aggregate DRAM bandwidth. */
+    BytesPerSecond memBandwidth = 320e9;
+
+    /**
+     * Throughput of the unparallelizable fraction (host-side sequential
+     * work between kernels), in instructions/second-equivalent IPC at
+     * the SM clock.
+     */
+    double serialIpc = 2.0;
+
+    /** Kernel launch + driver overhead per launch. */
+    Seconds launchOverhead = 2.5e-6;
+
+    /**
+     * Extra per-launch scheduling overhead for each co-resident MPS
+     * client beyond the first (Section II's scheduling cost).
+     */
+    Seconds mpsSchedulingOverhead = 2.5e-6;
+
+    /** Host-to-device transfer bandwidth (PCIe 3.0 x16 effective). */
+    BytesPerSecond pcieBandwidth = 12e9;
+
+    /** Fixed cost per host-staging transfer. */
+    Seconds stagingLatency = 10e-6;
+
+    /** Divergence cost: lane utilization lost per unit divergence. */
+    double divergenceLoss = 0.6;
+
+    /** Shared TLB entries (per-GPU, all MPS clients share them). */
+    int tlbEntries = 48;
+
+    /** Page size covered by one TLB entry. */
+    Bytes pageSize = 64ull << 10;  // 64 KiB large pages
+
+    /** TLB miss penalty (page-walk) in cycles. */
+    double tlbMissPenaltyCycles = 600.0;
+
+    /** Fraction of TLB-miss latency hidden by warp switching (alone). */
+    double tlbHiding = 0.85;
+
+    /**
+     * Additional TLB pressure per co-resident app: flushes/competition
+     * multiply the miss rate (Section II, issue 1-2).
+     */
+    double tlbMultiAppPressure = 1.5;
+
+    /**
+     * DRAM efficiency lost per additional MPS client (row-buffer
+     * interference): effective bandwidth = peak x (1 - loss x (n-1)).
+     */
+    double dramInterferenceLoss = 0.08;
+};
+
+}  // namespace mapp::gpusim
+
+#endif  // MAPP_GPUSIM_GPU_CONFIG_H

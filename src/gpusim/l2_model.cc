@@ -1,0 +1,29 @@
+#include "gpusim/l2_model.h"
+
+#include <algorithm>
+
+namespace mapp::gpusim {
+
+double
+l2MissRate(Bytes footprint, Bytes l2_share, double locality, int num_apps,
+           const L2ModelParams& params)
+{
+    if (l2_share == 0)
+        return params.maxMissRate;
+
+    const double pressure = static_cast<double>(footprint) /
+                            static_cast<double>(l2_share);
+    const double capacity = pressure / (pressure + params.capacityKnee);
+    const double exposure = 1.0 - 0.7 * locality;
+
+    double rate = params.baseMissRate +
+                  (params.maxMissRate - params.baseMissRate) * capacity *
+                      exposure;
+
+    // Conflict misses from co-resident clients' interleaved traffic.
+    rate += params.interferencePerApp *
+            static_cast<double>(std::max(num_apps, 1) - 1);
+    return std::clamp(rate, 0.0, 1.0);
+}
+
+}  // namespace mapp::gpusim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The GPU's shared L2 model: like the CPU's LLC model but tuned for the
+ * much smaller cache and the streaming-heavy access patterns of GPU
+ * kernels — capacity pressure bites sooner and co-runner interference
+ * adds conflict misses on top of the capacity split (the L2 is shared by
+ * all MPS clients; Jog et al. / MASK's observation cited in Section II).
+ */
+
+#ifndef MAPP_GPUSIM_L2_MODEL_H
+#define MAPP_GPUSIM_L2_MODEL_H
+
+#include "common/types.h"
+
+namespace mapp::gpusim {
+
+/** Parameters of the L2 miss model. */
+struct L2ModelParams
+{
+    double baseMissRate = 0.05;   ///< floor (compulsory/streaming)
+    double maxMissRate = 0.95;    ///< over-capacity ceiling
+    double capacityKnee = 0.2;    ///< pressure at which capacity bites
+
+    /** Extra miss rate per co-resident app (interleaving conflicts). */
+    double interferencePerApp = 0.10;
+};
+
+/**
+ * L2 miss rate for a phase.
+ *
+ * @param footprint bytes the phase re-touches
+ * @param l2_share bytes of L2 effectively available to the app
+ * @param locality phase temporal locality in [0, 1]
+ * @param num_apps co-resident MPS clients (>= 1)
+ */
+double l2MissRate(Bytes footprint, Bytes l2_share, double locality,
+                  int num_apps, const L2ModelParams& params = {});
+
+}  // namespace mapp::gpusim
+
+#endif  // MAPP_GPUSIM_L2_MODEL_H

@@ -1,0 +1,164 @@
+#include "gpusim/mps_sim.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+#include "common/sharing.h"
+
+namespace mapp::gpusim {
+
+MpsSim::MpsSim(GpuConfig config, L2ModelParams l2_params)
+    : config_(config), l2Params_(l2_params)
+{
+}
+
+namespace {
+
+/** Mutable co-run state of one MPS client. */
+struct ClientState
+{
+    const isa::WorkloadTrace* trace = nullptr;
+    std::size_t phase = 0;
+    double phaseFraction = 0.0;
+    Seconds finishTime = -1.0;
+
+    bool done() const { return phase >= trace->phases().size(); }
+    const isa::KernelPhase& currentPhase() const
+    {
+        return trace->phases()[phase];
+    }
+};
+
+}  // namespace
+
+BagGpuResult
+MpsSim::runShared(
+    const std::vector<const isa::WorkloadTrace*>& traces) const
+{
+    if (traces.empty())
+        fatal("MpsSim::runShared: empty bag");
+
+    std::vector<ClientState> clients(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+        if (traces[i] == nullptr || traces[i]->empty())
+            fatal("MpsSim::runShared: empty trace in bag");
+        clients[i].trace = traces[i];
+    }
+
+    Seconds clock = 0.0;
+    const std::size_t maxEvents = 16 * 1024 * 1024;
+    std::size_t events = 0;
+
+    while (true) {
+        std::vector<std::size_t> active;
+        for (std::size_t i = 0; i < clients.size(); ++i)
+            if (!clients[i].done())
+                active.push_back(i);
+        if (active.empty())
+            break;
+        if (++events > maxEvents)
+            panic("MpsSim: event limit exceeded");
+
+        const auto n = static_cast<int>(active.size());
+
+        // Spatial partition of the SM array and capacity split of L2.
+        const int smsEach = std::max(config_.numSms / n, 1);
+        const Bytes l2Each = config_.l2Size / static_cast<Bytes>(n);
+
+        // Row-buffer interference shaves peak DRAM bandwidth per extra
+        // resident client.
+        const double peakBw =
+            config_.memBandwidth *
+            std::max(1.0 - config_.dramInterferenceLoss *
+                               static_cast<double>(n - 1),
+                     0.3);
+
+        std::vector<GpuAllocation> allocs(active.size());
+        std::vector<double> demands(active.size());
+        for (std::size_t k = 0; k < active.size(); ++k) {
+            auto& a = allocs[k];
+            a.sms = smsEach;
+            a.l2Share = l2Each;
+            a.residentApps = n;
+            demands[k] = gpuPhaseBandwidthDemand(
+                clients[active[k]].currentPhase(), a, config_, l2Params_);
+        }
+        const auto granted = maxMinShare(demands, peakBw);
+        double totalDemand = 0.0;
+        for (double d : demands)
+            totalDemand += d;
+        const double queue =
+            queueingDelayFactor(std::min(totalDemand / peakBw, 1.0));
+
+        std::vector<Seconds> remaining(active.size());
+        std::vector<Seconds> durations(active.size());
+        Seconds dt = std::numeric_limits<Seconds>::infinity();
+        for (std::size_t k = 0; k < active.size(); ++k) {
+            allocs[k].bandwidthShare = std::max(granted[k], 1.0);
+            allocs[k].memQueueFactor = queue;
+            const GpuPhaseTiming t =
+                timeGpuPhase(clients[active[k]].currentPhase(), allocs[k],
+                             config_, l2Params_);
+            durations[k] = std::max(t.time, 1e-15);
+            remaining[k] =
+                durations[k] * (1.0 - clients[active[k]].phaseFraction);
+            dt = std::min(dt, remaining[k]);
+        }
+
+        clock += dt;
+        for (std::size_t k = 0; k < active.size(); ++k) {
+            ClientState& client = clients[active[k]];
+            if (remaining[k] - dt <= durations[k] * 1e-12) {
+                client.phase += 1;
+                client.phaseFraction = 0.0;
+                if (client.done())
+                    client.finishTime = clock;
+            } else {
+                client.phaseFraction += dt / durations[k];
+            }
+        }
+    }
+
+    BagGpuResult result;
+    result.apps.reserve(clients.size());
+    for (const auto& client : clients) {
+        AppGpuResult r;
+        r.app = client.trace->app();
+        r.time = client.finishTime;
+        r.instructions = client.trace->totalInstructions();
+        r.ipc = client.finishTime > 0.0
+                    ? static_cast<double>(r.instructions) /
+                          (client.finishTime * config_.frequency)
+                    : 0.0;
+        result.makespan = std::max(result.makespan, r.time);
+        result.apps.push_back(std::move(r));
+    }
+    return result;
+}
+
+AppGpuResult
+MpsSim::runAlone(const isa::WorkloadTrace& trace) const
+{
+    const auto bag = runShared({&trace});
+    return bag.apps.front();
+}
+
+std::vector<GpuPhaseTiming>
+MpsSim::timeline(const isa::WorkloadTrace& trace) const
+{
+    GpuAllocation alloc;
+    alloc.sms = config_.numSms;
+    alloc.l2Share = config_.l2Size;
+    alloc.bandwidthShare = config_.memBandwidth;
+    alloc.residentApps = 1;
+    alloc.memQueueFactor = 1.0;
+
+    std::vector<GpuPhaseTiming> out;
+    out.reserve(trace.size());
+    for (const auto& phase : trace.phases())
+        out.push_back(timeGpuPhase(phase, alloc, config_, l2Params_));
+    return out;
+}
+
+}  // namespace mapp::gpusim

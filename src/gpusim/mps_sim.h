@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The MPS multi-application GPU simulator.
+ *
+ * Each MPS client is a queue of kernel phases. Co-resident clients get
+ * a spatial partition of the SMs (CUDA MPS on Turing), share the L2
+ * (capacity split + conflict interference), share the DRAM channels
+ * (max-min over instantaneous demands, with row-buffer interference
+ * shaving peak bandwidth per extra client) and share the TLB (flush
+ * pressure inflates miss rates). The engine advances from kernel
+ * completion to kernel completion, re-dividing resources whenever the
+ * resident set changes. Single-client runs produce the paper's
+ * "GPU time" feature; bag runs produce the prediction target.
+ */
+
+#ifndef MAPP_GPUSIM_MPS_SIM_H
+#define MAPP_GPUSIM_MPS_SIM_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "gpusim/gpu_config.h"
+#include "gpusim/l2_model.h"
+#include "gpusim/sm_model.h"
+#include "isa/trace.h"
+
+namespace mapp::gpusim {
+
+/** Result of one MPS client's (co-)run. */
+struct AppGpuResult
+{
+    std::string app;       ///< benchmark name
+    Seconds time = 0.0;    ///< completion time
+    double ipc = 0.0;      ///< instructions / (time x SM clock)
+    InstCount instructions = 0;
+};
+
+/** Result of a bag co-run under MPS. */
+struct BagGpuResult
+{
+    std::vector<AppGpuResult> apps;
+    Seconds makespan = 0.0;  ///< the bag's execution time (the target)
+};
+
+/** The GPU performance simulator. */
+class MpsSim
+{
+  public:
+    explicit MpsSim(GpuConfig config = {}, L2ModelParams l2_params = {});
+
+    const GpuConfig& config() const { return config_; }
+
+    /** Run one app alone on the whole GPU. */
+    AppGpuResult runAlone(const isa::WorkloadTrace& trace) const;
+
+    /** Co-run a bag of apps as MPS clients started together. */
+    BagGpuResult runShared(
+        const std::vector<const isa::WorkloadTrace*>& traces) const;
+
+    /**
+     * Per-phase timing breakdown of an alone run on the whole GPU —
+     * where each phase's time goes (compute / serial / memory / TLB /
+     * launch+staging overhead). Phases are in trace order.
+     */
+    std::vector<GpuPhaseTiming> timeline(
+        const isa::WorkloadTrace& trace) const;
+
+  private:
+    GpuConfig config_;
+    L2ModelParams l2Params_;
+};
+
+}  // namespace mapp::gpusim
+
+#endif  // MAPP_GPUSIM_MPS_SIM_H

@@ -1,0 +1,131 @@
+#include "gpusim/sm_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gpusim/tlb_model.h"
+
+namespace mapp::gpusim {
+
+double
+phaseOccupancy(const isa::KernelPhase& phase, int sms,
+               const GpuConfig& config)
+{
+    const double capacity = static_cast<double>(std::max(sms, 1)) *
+                            static_cast<double>(config.maxThreadsPerSm);
+    const double items = static_cast<double>(phase.workItems);
+    return std::clamp(items / capacity, 0.05, 1.0);
+}
+
+GpuPhaseTiming
+timeGpuPhase(const isa::KernelPhase& phase, const GpuAllocation& alloc,
+             const GpuConfig& config, const L2ModelParams& l2_params)
+{
+    GpuPhaseTiming t;
+    const auto insts = static_cast<double>(phase.instructions());
+    if (insts == 0.0)
+        return t;
+
+    if (phase.hostStaged) {
+        // Host-to-device transfer: PCIe drain plus a fixed per-transfer
+        // driver cost; no SM/L2/TLB involvement. Co-residents contend
+        // for the link via the granted bandwidth share scaled to PCIe.
+        const auto launches = static_cast<double>(phase.launches);
+        const double linkShare =
+            config.pcieBandwidth /
+            static_cast<double>(std::max(alloc.residentApps, 1));
+        // Transfer volume is the device-side write size, not the
+        // memcpy's combined read+write traffic.
+        t.memoryTime =
+            static_cast<double>(phase.bytesWritten) / linkShare;
+        t.overheadTime = launches * config.stagingLatency;
+        t.time = t.memoryTime + t.overheadTime;
+        return t;
+    }
+
+    const int sms = std::max(alloc.sms, 1);
+    t.occupancy = phaseOccupancy(phase, sms, config);
+
+    // SIMT issue cycles: per-class lane throughput across the partition,
+    // derated by divergence (idle lanes) and occupancy (idle warp slots).
+    double issueCycles = 0.0;
+    for (isa::InstClass c : isa::kAllInstClasses) {
+        const double thr =
+            config.throughputPerSm[static_cast<std::size_t>(c)] *
+            static_cast<double>(sms);
+        issueCycles += static_cast<double>(phase.mix.count(c)) / thr;
+    }
+    const double laneUtil =
+        std::max(1.0 - config.divergenceLoss * phase.branchDivergence,
+                 0.05);
+    const double warpUtil = 0.25 + 0.75 * t.occupancy;
+    issueCycles /= laneUtil * warpUtil;
+
+    const double p = phase.parallelFraction;
+    t.computeTime = issueCycles * p / config.frequency;
+    // The serial fraction crawls along one lane.
+    t.serialTime =
+        insts * (1.0 - p) / (config.serialIpc * config.frequency);
+
+    // Post-L2 DRAM drain.
+    t.l2MissRate = l2MissRate(phase.footprint, alloc.l2Share,
+                              phase.locality, alloc.residentApps,
+                              l2_params);
+    // Drain time over the granted share; contention is already in the
+    // share, so no extra queueing multiplier here.
+    const double dramTraffic =
+        static_cast<double>(phase.traffic()) * t.l2MissRate;
+    t.memoryTime = alloc.bandwidthShare > 0.0
+                       ? dramTraffic / alloc.bandwidthShare
+                       : 0.0;
+
+    // TLB stalls (shared across MPS clients): one potential walk per
+    // page transition of the phase's traffic.
+    const double pageTouches =
+        static_cast<double>(phase.traffic()) /
+        static_cast<double>(config.pageSize);
+    t.tlbMissRate =
+        tlbMissRate(phase.footprint, alloc.residentApps, config);
+    // Page walks are latency-bound, so memory-controller queueing
+    // inflates them.
+    t.tlbTime = tlbStallTime(pageTouches, t.tlbMissRate,
+                             alloc.residentApps, config) *
+                alloc.memQueueFactor;
+
+    // Launch and MPS scheduling overheads per kernel launch.
+    const auto launches = static_cast<double>(phase.launches);
+    t.overheadTime =
+        launches *
+        (config.launchOverhead +
+         config.mpsSchedulingOverhead *
+             static_cast<double>(std::max(alloc.residentApps - 1, 0)));
+
+    // High occupancy overlaps compute with memory; low occupancy
+    // exposes both. Interpolate between max() and sum().
+    const double overlap = t.occupancy;
+    const double busy =
+        std::max(t.computeTime, t.memoryTime) * overlap +
+        (t.computeTime + t.memoryTime) * (1.0 - overlap);
+
+    t.time = busy + t.serialTime + t.tlbTime + t.overheadTime;
+    return t;
+}
+
+BytesPerSecond
+gpuPhaseBandwidthDemand(const isa::KernelPhase& phase,
+                        const GpuAllocation& alloc, const GpuConfig& config,
+                        const L2ModelParams& l2_params)
+{
+    GpuAllocation unconstrained = alloc;
+    unconstrained.bandwidthShare = 0.0;
+    unconstrained.memQueueFactor = 1.0;
+    const GpuPhaseTiming t =
+        timeGpuPhase(phase, unconstrained, config, l2_params);
+    if (t.time <= 0.0)
+        return 0.0;
+    const double dramTraffic =
+        static_cast<double>(phase.traffic()) * t.l2MissRate;
+    return dramTraffic / t.time;
+}
+
+}  // namespace mapp::gpusim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The SM-array timing model: converts one KernelPhase plus a GPU
+ * resource allocation (SM partition, L2 share, bandwidth share, TLB
+ * state) into kernel execution time on the simulated GPU.
+ */
+
+#ifndef MAPP_GPUSIM_SM_MODEL_H
+#define MAPP_GPUSIM_SM_MODEL_H
+
+#include "common/types.h"
+#include "gpusim/gpu_config.h"
+#include "gpusim/l2_model.h"
+#include "isa/kernel_phase.h"
+
+namespace mapp::gpusim {
+
+/** The resources an MPS client holds while a kernel executes. */
+struct GpuAllocation
+{
+    /** SMs in the client's spatial partition. */
+    int sms = 1;
+
+    /** Bytes of L2 effectively available. */
+    Bytes l2Share = 0;
+
+    /** DRAM bandwidth granted. */
+    BytesPerSecond bandwidthShare = 0.0;
+
+    /** Co-resident MPS clients (including this one). */
+    int residentApps = 1;
+
+    /** Queueing multiplier on memory latency (>= 1). */
+    double memQueueFactor = 1.0;
+};
+
+/** Timing breakdown of one kernel phase on the GPU. */
+struct GpuPhaseTiming
+{
+    Seconds time = 0.0;
+    Seconds computeTime = 0.0;    ///< issue-bound SIMT time
+    Seconds serialTime = 0.0;     ///< Amdahl serial-lane time
+    Seconds memoryTime = 0.0;     ///< DRAM drain time
+    Seconds tlbTime = 0.0;        ///< exposed page-walk stalls
+    Seconds overheadTime = 0.0;   ///< launch + MPS scheduling
+    double occupancy = 1.0;
+    double l2MissRate = 0.0;
+    double tlbMissRate = 0.0;
+};
+
+/**
+ * Time one phase on the GPU under an allocation.
+ *
+ * The model: per-class issue throughput over the SM partition with
+ * divergence-degraded lane utilization and occupancy-limited latency
+ * hiding; an Amdahl serial-lane term for the unparallelizable fraction;
+ * a DRAM drain term over post-L2 traffic (the larger of compute and
+ * memory wins when occupancy is high enough to overlap them); exposed
+ * TLB stalls; and per-launch driver/MPS overheads.
+ */
+GpuPhaseTiming timeGpuPhase(const isa::KernelPhase& phase,
+                            const GpuAllocation& alloc,
+                            const GpuConfig& config,
+                            const L2ModelParams& l2_params = {});
+
+/**
+ * Occupancy of a phase on @p sms SMs: the fraction of resident-thread
+ * capacity its work items can fill.
+ */
+double phaseOccupancy(const isa::KernelPhase& phase, int sms,
+                      const GpuConfig& config);
+
+/** Bandwidth demand (bytes/sec) of a phase if unconstrained. */
+BytesPerSecond gpuPhaseBandwidthDemand(const isa::KernelPhase& phase,
+                                       const GpuAllocation& alloc,
+                                       const GpuConfig& config,
+                                       const L2ModelParams& l2_params = {});
+
+}  // namespace mapp::gpusim
+
+#endif  // MAPP_GPUSIM_SM_MODEL_H

@@ -1,0 +1,48 @@
+#include "gpusim/tlb_model.h"
+
+#include <algorithm>
+
+namespace mapp::gpusim {
+
+double
+tlbMissRate(Bytes footprint, int num_apps, const GpuConfig& config)
+{
+    // Effective entries available to this app.
+    const int apps = std::max(num_apps, 1);
+    const double entries =
+        static_cast<double>(config.tlbEntries) / static_cast<double>(apps);
+    const double coverage = entries * static_cast<double>(config.pageSize);
+
+    const double pages =
+        static_cast<double>(footprint) /
+        static_cast<double>(config.pageSize);
+    if (pages <= 1.0)
+        return 0.0;
+
+    // Pressure: how far the working set exceeds the covered span.
+    const double pressure = static_cast<double>(footprint) / coverage;
+    double miss = pressure / (pressure + 1.0) * 0.2;
+
+    // Multi-app flush pressure multiplies the rate.
+    miss *= 1.0 + config.tlbMultiAppPressure *
+                      static_cast<double>(apps - 1);
+    return std::clamp(miss, 0.0, 0.9);
+}
+
+Seconds
+tlbStallTime(double page_touches, double miss_rate, int num_apps,
+             const GpuConfig& config)
+{
+    const int apps = std::max(num_apps, 1);
+    // Warp switching hides most walk latency when alone; co-residents'
+    // flushes serialize the walker and expose more of it.
+    double hiding = config.tlbHiding;
+    hiding /= 1.0 + 0.5 * static_cast<double>(apps - 1);
+
+    const double walkCycles = page_touches * miss_rate *
+                              config.tlbMissPenaltyCycles *
+                              (1.0 - hiding);
+    return walkCycles / config.frequency;
+}
+
+}  // namespace mapp::gpusim

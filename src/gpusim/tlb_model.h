@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The shared-TLB model. All MPS clients share the GPU's address
+ * translation structures (Section II of the paper); the model converts
+ * an app's footprint into TLB coverage pressure and inflates the miss
+ * rate with the number of co-resident apps (context flushes and entry
+ * competition).
+ */
+
+#ifndef MAPP_GPUSIM_TLB_MODEL_H
+#define MAPP_GPUSIM_TLB_MODEL_H
+
+#include "common/types.h"
+#include "gpusim/gpu_config.h"
+
+namespace mapp::gpusim {
+
+/**
+ * TLB miss rate for an app touching @p footprint bytes while @p num_apps
+ * MPS clients are co-resident.
+ */
+double tlbMissRate(Bytes footprint, int num_apps, const GpuConfig& config);
+
+/**
+ * Unhidden TLB stall seconds for a phase. Misses happen on page
+ * transitions, so the walk count is the phase's page touches (traffic /
+ * page size) scaled by the miss rate; multi-app runs hide less because
+ * flushes serialize page walks.
+ */
+Seconds tlbStallTime(double page_touches, double miss_rate, int num_apps,
+                     const GpuConfig& config);
+
+}  // namespace mapp::gpusim
+
+#endif  // MAPP_GPUSIM_TLB_MODEL_H

@@ -1,0 +1,118 @@
+#include "isa/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mapp::isa {
+
+void
+WorkloadTrace::append(KernelPhase phase)
+{
+    phase.validate();
+    phases_.push_back(std::move(phase));
+}
+
+void
+WorkloadTrace::append(const WorkloadTrace& other)
+{
+    phases_.insert(phases_.end(), other.phases_.begin(),
+                   other.phases_.end());
+}
+
+InstMix
+WorkloadTrace::totalMix() const
+{
+    InstMix mix;
+    for (const auto& p : phases_)
+        mix += p.mix;
+    return mix;
+}
+
+InstCount
+WorkloadTrace::totalInstructions() const
+{
+    InstCount t = 0;
+    for (const auto& p : phases_)
+        t += p.instructions();
+    return t;
+}
+
+Bytes
+WorkloadTrace::totalBytesRead() const
+{
+    Bytes t = 0;
+    for (const auto& p : phases_)
+        t += p.bytesRead;
+    return t;
+}
+
+Bytes
+WorkloadTrace::totalBytesWritten() const
+{
+    Bytes t = 0;
+    for (const auto& p : phases_)
+        t += p.bytesWritten;
+    return t;
+}
+
+Bytes
+WorkloadTrace::peakFootprint() const
+{
+    Bytes best = 0;
+    for (const auto& p : phases_)
+        best = std::max(best, p.footprint);
+    return best;
+}
+
+namespace {
+
+/** Instruction-weighted mean of a phase attribute. */
+template <typename Getter>
+double
+weightedMean(const std::vector<KernelPhase>& phases, Getter get)
+{
+    double num = 0.0;
+    double den = 0.0;
+    for (const auto& p : phases) {
+        const auto w = static_cast<double>(p.instructions());
+        num += w * get(p);
+        den += w;
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace
+
+double
+WorkloadTrace::meanLocality() const
+{
+    return weightedMean(phases_,
+                        [](const KernelPhase& p) { return p.locality; });
+}
+
+double
+WorkloadTrace::meanParallelFraction() const
+{
+    return weightedMean(
+        phases_, [](const KernelPhase& p) { return p.parallelFraction; });
+}
+
+double
+WorkloadTrace::meanBranchDivergence() const
+{
+    return weightedMean(
+        phases_, [](const KernelPhase& p) { return p.branchDivergence; });
+}
+
+std::string
+WorkloadTrace::summary() const
+{
+    std::ostringstream os;
+    os << app_ << "(batch=" << batchSize_ << "): " << phases_.size()
+       << " phases, " << totalInstructions() << " insts, "
+       << (totalBytesRead() + totalBytesWritten()) / 1024 << " KiB traffic, "
+       << "peak footprint " << peakFootprint() / 1024 << " KiB";
+    return os.str();
+}
+
+}  // namespace mapp::isa

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * WorkloadTrace: an ordered sequence of KernelPhase records produced by
+ * one profiled run of a vision benchmark on one input batch. This is the
+ * MAPP analogue of the paper's PIN/MICA instrumentation output, and the
+ * single input both the CPU and GPU simulators consume.
+ */
+
+#ifndef MAPP_ISA_TRACE_H
+#define MAPP_ISA_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/kernel_phase.h"
+
+namespace mapp::isa {
+
+/** A profiled run: workload identity plus its phase sequence. */
+class WorkloadTrace
+{
+  public:
+    WorkloadTrace() = default;
+
+    /**
+     * @param app benchmark name (e.g. "SIFT")
+     * @param batch_size images in the input batch that produced the trace
+     */
+    WorkloadTrace(std::string app, int batch_size)
+        : app_(std::move(app)), batchSize_(batch_size)
+    {
+    }
+
+    const std::string& app() const { return app_; }
+    int batchSize() const { return batchSize_; }
+
+    /** Append one validated phase. */
+    void append(KernelPhase phase);
+
+    /** Append all phases of another trace (pipeline composition). */
+    void append(const WorkloadTrace& other);
+
+    const std::vector<KernelPhase>& phases() const { return phases_; }
+    bool empty() const { return phases_.empty(); }
+    std::size_t size() const { return phases_.size(); }
+
+    /** Aggregate instruction mix over all phases. */
+    InstMix totalMix() const;
+
+    /** Total dynamic instructions. */
+    InstCount totalInstructions() const;
+
+    /** Total bytes read. */
+    Bytes totalBytesRead() const;
+
+    /** Total bytes written. */
+    Bytes totalBytesWritten() const;
+
+    /** Largest single-phase footprint (proxy for the working set). */
+    Bytes peakFootprint() const;
+
+    /** Instruction-weighted mean locality over phases. */
+    double meanLocality() const;
+
+    /** Instruction-weighted mean parallel fraction. */
+    double meanParallelFraction() const;
+
+    /** Instruction-weighted mean branch divergence. */
+    double meanBranchDivergence() const;
+
+    /** One-line summary for logging. */
+    std::string summary() const;
+
+  private:
+    std::string app_;
+    int batchSize_ = 0;
+    std::vector<KernelPhase> phases_;
+};
+
+}  // namespace mapp::isa
+
+#endif  // MAPP_ISA_TRACE_H

@@ -1,0 +1,120 @@
+#include "isa/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/log.h"
+
+namespace mapp::isa {
+
+namespace {
+
+std::vector<std::string>
+header()
+{
+    std::vector<std::string> cols{"app", "batch", "phase"};
+    for (InstClass c : kAllInstClasses)
+        cols.push_back(instClassName(c));
+    for (const char* extra :
+         {"bytes_read", "bytes_written", "footprint", "parallel",
+          "work_items", "locality", "divergence", "launches",
+          "host_staged"}) {
+        cols.emplace_back(extra);
+    }
+    return cols;
+}
+
+}  // namespace
+
+std::string
+traceToCsv(const WorkloadTrace& trace)
+{
+    std::ostringstream os;
+    CsvWriter writer(os);
+    writer.writeHeader(header());
+    for (const auto& p : trace.phases()) {
+        std::vector<std::string> row{trace.app(),
+                                     std::to_string(trace.batchSize()),
+                                     p.name};
+        for (InstClass c : kAllInstClasses)
+            row.push_back(std::to_string(p.mix.count(c)));
+        row.push_back(std::to_string(p.bytesRead));
+        row.push_back(std::to_string(p.bytesWritten));
+        row.push_back(std::to_string(p.footprint));
+        row.push_back(std::to_string(p.parallelFraction));
+        row.push_back(std::to_string(p.workItems));
+        row.push_back(std::to_string(p.locality));
+        row.push_back(std::to_string(p.branchDivergence));
+        row.push_back(std::to_string(p.launches));
+        row.push_back(p.hostStaged ? "1" : "0");
+        writer.writeRow(row);
+    }
+    return os.str();
+}
+
+WorkloadTrace
+traceFromCsv(const std::string& text)
+{
+    const CsvTable table = parseCsv(text);
+    const auto expected = header();
+    if (table.header != expected)
+        fatal("traceFromCsv: unexpected header");
+    if (table.rows.empty())
+        fatal("traceFromCsv: trace has no phases");
+
+    auto col = [&](const std::string& name) {
+        const int idx = table.columnIndex(name);
+        if (idx < 0)
+            fatal("traceFromCsv: missing column " + name);
+        return static_cast<std::size_t>(idx);
+    };
+
+    WorkloadTrace trace(table.rows.front()[col("app")],
+                        std::stoi(table.rows.front()[col("batch")]));
+    for (const auto& row : table.rows) {
+        if (row.size() != expected.size())
+            fatal("traceFromCsv: short row");
+        KernelPhase p;
+        p.name = row[col("phase")];
+        for (InstClass c : kAllInstClasses) {
+            p.mix.add(c, static_cast<InstCount>(std::stoull(
+                             row[col(instClassName(c))])));
+        }
+        p.bytesRead = std::stoull(row[col("bytes_read")]);
+        p.bytesWritten = std::stoull(row[col("bytes_written")]);
+        p.footprint = std::stoull(row[col("footprint")]);
+        p.parallelFraction = std::stod(row[col("parallel")]);
+        p.workItems = std::stoull(row[col("work_items")]);
+        p.locality = std::stod(row[col("locality")]);
+        p.branchDivergence = std::stod(row[col("divergence")]);
+        p.launches = std::stoull(row[col("launches")]);
+        p.hostStaged = row[col("host_staged")] == "1";
+        trace.append(std::move(p));  // validates
+    }
+    return trace;
+}
+
+void
+writeTraceFile(const WorkloadTrace& trace, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("writeTraceFile: cannot open " + path);
+    out << traceToCsv(trace);
+    if (!out)
+        fatal("writeTraceFile: write failed for " + path);
+}
+
+WorkloadTrace
+readTraceFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("readTraceFile: cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return traceFromCsv(ss.str());
+}
+
+}  // namespace mapp::isa

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * WorkloadTrace serialization: traces round-trip through a CSV format
+ * (one row per phase) so profiled workloads can be cached on disk,
+ * shipped between machines, or inspected with standard tools — the
+ * moral equivalent of PIN trace files.
+ */
+
+#ifndef MAPP_ISA_TRACE_IO_H
+#define MAPP_ISA_TRACE_IO_H
+
+#include <string>
+
+#include "isa/trace.h"
+
+namespace mapp::isa {
+
+/** Serialize a trace to CSV text (header + one row per phase). */
+std::string traceToCsv(const WorkloadTrace& trace);
+
+/**
+ * Parse a trace back from CSV text produced by traceToCsv.
+ * @throws FatalError on malformed input (missing columns, bad values,
+ *         phases that fail validation).
+ */
+WorkloadTrace traceFromCsv(const std::string& text);
+
+/** Write a trace to a file. @throws FatalError on I/O failure. */
+void writeTraceFile(const WorkloadTrace& trace, const std::string& path);
+
+/** Read a trace from a file. @throws FatalError on I/O failure. */
+WorkloadTrace readTraceFile(const std::string& path);
+
+}  // namespace mapp::isa
+
+#endif  // MAPP_ISA_TRACE_IO_H

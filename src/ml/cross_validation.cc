@@ -1,0 +1,80 @@
+#include "ml/cross_validation.h"
+
+#include <numeric>
+
+#include "common/log.h"
+
+namespace mapp::ml {
+
+double
+CrossValidationResult::meanRelativeError() const
+{
+    if (folds.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const auto& fold : folds)
+        acc += fold.meanRelativeError;
+    return acc / static_cast<double>(folds.size());
+}
+
+namespace {
+
+FoldResult
+evaluateFold(const std::string& label, const Dataset& train,
+             const Dataset& test, const FitPredictFn& fit_predict)
+{
+    FoldResult fold;
+    fold.label = label;
+    fold.testPoints = test.size();
+    if (train.empty() || test.empty())
+        return fold;
+    const auto predictions = fit_predict(train, test);
+    fold.meanRelativeError =
+        meanRelativeErrorPercent(test.targets(), predictions);
+    fold.mse = meanSquaredError(test.targets(), predictions);
+    return fold;
+}
+
+}  // namespace
+
+CrossValidationResult
+leaveOneGroupOut(const Dataset& data, const FitPredictFn& fit_predict)
+{
+    CrossValidationResult result;
+    for (const auto& group : data.distinctGroups()) {
+        auto [train, test] = data.splitOutGroup(group);
+        result.folds.push_back(
+            evaluateFold(group, train, test, fit_predict));
+    }
+    return result;
+}
+
+CrossValidationResult
+kFold(const Dataset& data, int folds, Rng& rng,
+      const FitPredictFn& fit_predict)
+{
+    if (folds < 2)
+        fatal("kFold: need at least 2 folds");
+
+    std::vector<std::size_t> order(data.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+
+    CrossValidationResult result;
+    for (int f = 0; f < folds; ++f) {
+        std::vector<std::size_t> trainIdx;
+        std::vector<std::size_t> testIdx;
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            if (static_cast<int>(i % static_cast<std::size_t>(folds)) == f)
+                testIdx.push_back(order[i]);
+            else
+                trainIdx.push_back(order[i]);
+        }
+        result.folds.push_back(evaluateFold(
+            "fold" + std::to_string(f), data.subset(trainIdx),
+            data.subset(testIdx), fit_predict));
+    }
+    return result;
+}
+
+}  // namespace mapp::ml

@@ -1,0 +1,124 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.h"
+
+namespace mapp::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : names_(std::move(feature_names))
+{
+}
+
+void
+Dataset::addRow(std::vector<double> features, double target,
+                std::string group)
+{
+    if (features.size() != names_.size())
+        fatal("Dataset::addRow: feature count mismatch");
+    rows_.push_back(std::move(features));
+    targets_.push_back(target);
+    groups_.push_back(std::move(group));
+}
+
+int
+Dataset::featureIndex(const std::string& name) const
+{
+    for (std::size_t i = 0; i < names_.size(); ++i)
+        if (names_[i] == name)
+            return static_cast<int>(i);
+    return -1;
+}
+
+std::vector<double>
+Dataset::column(std::size_t feature) const
+{
+    std::vector<double> out;
+    out.reserve(rows_.size());
+    for (const auto& row : rows_)
+        out.push_back(row[feature]);
+    return out;
+}
+
+std::vector<std::string>
+Dataset::distinctGroups() const
+{
+    std::vector<std::string> out;
+    for (const auto& g : groups_)
+        if (std::find(out.begin(), out.end(), g) == out.end())
+            out.push_back(g);
+    return out;
+}
+
+Dataset
+Dataset::selectFeatures(const std::vector<std::string>& names) const
+{
+    std::vector<std::size_t> cols;
+    cols.reserve(names.size());
+    for (const auto& name : names) {
+        const int idx = featureIndex(name);
+        if (idx < 0)
+            fatal("Dataset::selectFeatures: unknown feature " + name);
+        cols.push_back(static_cast<std::size_t>(idx));
+    }
+
+    Dataset out(names);
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        std::vector<double> row;
+        row.reserve(cols.size());
+        for (std::size_t c : cols)
+            row.push_back(rows_[r][c]);
+        out.addRow(std::move(row), targets_[r], groups_[r]);
+    }
+    return out;
+}
+
+Dataset
+Dataset::subset(const std::vector<std::size_t>& indices) const
+{
+    Dataset out(names_);
+    for (std::size_t i : indices) {
+        if (i >= size())
+            fatal("Dataset::subset: index out of range");
+        out.addRow(rows_[i], targets_[i], groups_[i]);
+    }
+    return out;
+}
+
+std::pair<Dataset, Dataset>
+Dataset::trainTestSplit(double test_fraction, Rng& rng) const
+{
+    std::vector<std::size_t> order(size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+
+    const auto testCount = static_cast<std::size_t>(
+        static_cast<double>(size()) * test_fraction);
+    std::vector<std::size_t> testIdx(order.begin(),
+                                     order.begin() +
+                                         static_cast<long>(testCount));
+    std::vector<std::size_t> trainIdx(
+        order.begin() + static_cast<long>(testCount), order.end());
+    // Keep row order stable within each side for reproducibility.
+    std::sort(testIdx.begin(), testIdx.end());
+    std::sort(trainIdx.begin(), trainIdx.end());
+    return {subset(trainIdx), subset(testIdx)};
+}
+
+std::pair<Dataset, Dataset>
+Dataset::splitOutGroup(const std::string& group) const
+{
+    std::vector<std::size_t> trainIdx;
+    std::vector<std::size_t> testIdx;
+    for (std::size_t i = 0; i < size(); ++i) {
+        if (groups_[i] == group)
+            testIdx.push_back(i);
+        else
+            trainIdx.push_back(i);
+    }
+    return {subset(trainIdx), subset(testIdx)};
+}
+
+}  // namespace mapp::ml

@@ -1,0 +1,101 @@
+#include "ml/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/log.h"
+
+namespace mapp::ml {
+
+std::string
+datasetToCsv(const Dataset& data)
+{
+    std::ostringstream os;
+    CsvWriter writer(os);
+
+    std::vector<std::string> headerRow = data.featureNames();
+    headerRow.emplace_back("target");
+    headerRow.emplace_back("group");
+    writer.writeHeader(headerRow);
+
+    for (std::size_t r = 0; r < data.size(); ++r) {
+        std::vector<std::string> row;
+        row.reserve(headerRow.size());
+        for (double v : data.row(r)) {
+            std::ostringstream cell;
+            cell.precision(17);
+            cell << v;
+            row.push_back(cell.str());
+        }
+        std::ostringstream target;
+        target.precision(17);
+        target << data.target(r);
+        row.push_back(target.str());
+        row.push_back(data.group(r));
+        writer.writeRow(row);
+    }
+    return os.str();
+}
+
+Dataset
+datasetFromCsv(const std::string& text)
+{
+    const CsvTable table = parseCsv(text);
+    if (table.header.size() < 2)
+        fatal("datasetFromCsv: header too short");
+    if (table.header[table.header.size() - 2] != "target" ||
+        table.header.back() != "group") {
+        fatal("datasetFromCsv: last columns must be target,group");
+    }
+
+    const std::size_t numFeatures = table.header.size() - 2;
+    Dataset data({table.header.begin(),
+                  table.header.begin() +
+                      static_cast<long>(numFeatures)});
+    for (const auto& row : table.rows) {
+        if (row.size() != table.header.size())
+            fatal("datasetFromCsv: short row");
+        std::vector<double> features;
+        features.reserve(numFeatures);
+        for (std::size_t f = 0; f < numFeatures; ++f) {
+            try {
+                features.push_back(std::stod(row[f]));
+            } catch (const std::exception&) {
+                fatal("datasetFromCsv: bad numeric cell '" + row[f] + "'");
+            }
+        }
+        double target = 0.0;
+        try {
+            target = std::stod(row[numFeatures]);
+        } catch (const std::exception&) {
+            fatal("datasetFromCsv: bad target cell");
+        }
+        data.addRow(std::move(features), target, row.back());
+    }
+    return data;
+}
+
+void
+writeDatasetFile(const Dataset& data, const std::string& path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        fatal("writeDatasetFile: cannot open " + path);
+    out << datasetToCsv(data);
+    if (!out)
+        fatal("writeDatasetFile: write failed for " + path);
+}
+
+Dataset
+readDatasetFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("readDatasetFile: cannot open " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return datasetFromCsv(ss.str());
+}
+
+}  // namespace mapp::ml

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Dataset serialization: ml::Dataset round-trips through CSV (feature
+ * columns + "target" + "group"), so a collected campaign can be cached,
+ * versioned, or analyzed with external tools (pandas, R, ...).
+ */
+
+#ifndef MAPP_ML_DATASET_IO_H
+#define MAPP_ML_DATASET_IO_H
+
+#include <string>
+
+#include "ml/dataset.h"
+
+namespace mapp::ml {
+
+/** Serialize a dataset to CSV text. */
+std::string datasetToCsv(const Dataset& data);
+
+/**
+ * Parse a dataset from CSV text produced by datasetToCsv (the last two
+ * columns must be "target" and "group").
+ * @throws FatalError on malformed input.
+ */
+Dataset datasetFromCsv(const std::string& text);
+
+/** Write a dataset to a file. @throws FatalError on I/O failure. */
+void writeDatasetFile(const Dataset& data, const std::string& path);
+
+/** Read a dataset from a file. @throws FatalError on I/O failure. */
+Dataset readDatasetFile(const std::string& path);
+
+}  // namespace mapp::ml
+
+#endif  // MAPP_ML_DATASET_IO_H

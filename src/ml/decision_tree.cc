@@ -1,0 +1,323 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace mapp::ml {
+
+namespace {
+
+/** Mean and SSE of the targets at the given indices. */
+std::pair<double, double>
+meanAndSse(const std::vector<double>& targets,
+           const std::vector<std::size_t>& indices)
+{
+    if (indices.empty())
+        return {0.0, 0.0};
+    double mean = 0.0;
+    for (std::size_t i : indices)
+        mean += targets[i];
+    mean /= static_cast<double>(indices.size());
+    double sse = 0.0;
+    for (std::size_t i : indices)
+        sse += (targets[i] - mean) * (targets[i] - mean);
+    return {mean, sse};
+}
+
+/** The best (threshold, sseLeft+sseRight) split of one feature. */
+struct SplitCandidate
+{
+    bool valid = false;
+    int feature = -1;
+    double threshold = 0.0;
+    double childSse = std::numeric_limits<double>::infinity();
+};
+
+}  // namespace
+
+void
+DecisionTreeRegressor::fit(const Dataset& data)
+{
+    fit(data.rows(), data.targets(), data.featureNames());
+}
+
+void
+DecisionTreeRegressor::fit(const std::vector<std::vector<double>>& rows,
+                           const std::vector<double>& targets,
+                           std::vector<std::string> feature_names)
+{
+    if (rows.empty() || rows.size() != targets.size())
+        fatal("DecisionTreeRegressor::fit: empty or mismatched data");
+
+    nodes_.clear();
+    if (feature_names.empty())
+        feature_names.assign(rows.front().size(), "");
+    featureNames_ = std::move(feature_names);
+
+    std::vector<std::size_t> indices(rows.size());
+    std::iota(indices.begin(), indices.end(), std::size_t{0});
+    buildNode(rows, targets, indices, 0);
+}
+
+int
+DecisionTreeRegressor::buildNode(
+    const std::vector<std::vector<double>>& rows,
+    const std::vector<double>& targets,
+    std::vector<std::size_t>& indices, int depth)
+{
+    const int nodeId = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    auto [mean, sse] = meanAndSse(targets, indices);
+    {
+        Node& node = nodes_.back();
+        node.value = mean;
+        node.sse = sse;
+        node.samples = static_cast<int>(indices.size());
+        node.depth = depth;
+    }
+
+    const auto n = indices.size();
+    if (depth >= params_.maxDepth ||
+        n < static_cast<std::size_t>(params_.minSamplesSplit) ||
+        sse <= 1e-12) {
+        return nodeId;
+    }
+
+    // Greedy exhaustive split search: for each feature, sort the node's
+    // samples by that feature and evaluate every boundary between
+    // distinct values using prefix sums of y and y^2.
+    const std::size_t numFeatures = rows.front().size();
+    SplitCandidate best;
+
+    std::vector<std::size_t> order(indices);
+    for (std::size_t f = 0; f < numFeatures; ++f) {
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return rows[a][f] < rows[b][f];
+                  });
+
+        double sumLeft = 0.0;
+        double sqLeft = 0.0;
+        double sumTotal = 0.0;
+        double sqTotal = 0.0;
+        for (std::size_t i : order) {
+            sumTotal += targets[i];
+            sqTotal += targets[i] * targets[i];
+        }
+
+        for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+            const double y = targets[order[k]];
+            sumLeft += y;
+            sqLeft += y * y;
+
+            const double xk = rows[order[k]][f];
+            const double xn = rows[order[k + 1]][f];
+            if (xn <= xk)  // not a boundary between distinct values
+                continue;
+
+            const auto nl = static_cast<double>(k + 1);
+            const auto nr = static_cast<double>(order.size() - k - 1);
+            if (nl < params_.minSamplesLeaf || nr < params_.minSamplesLeaf)
+                continue;
+
+            const double sseL = sqLeft - sumLeft * sumLeft / nl;
+            const double sumR = sumTotal - sumLeft;
+            const double sqR = sqTotal - sqLeft;
+            const double sseR = sqR - sumR * sumR / nr;
+            const double childSse = sseL + sseR;
+
+            if (childSse < best.childSse) {
+                best.valid = true;
+                best.feature = static_cast<int>(f);
+                best.threshold = (xk + xn) / 2.0;
+                best.childSse = childSse;
+            }
+        }
+    }
+
+    if (!best.valid ||
+        sse - best.childSse <= params_.minImpurityDecrease + 1e-12) {
+        return nodeId;
+    }
+
+    std::vector<std::size_t> leftIdx;
+    std::vector<std::size_t> rightIdx;
+    for (std::size_t i : indices) {
+        if (rows[i][static_cast<std::size_t>(best.feature)] <=
+            best.threshold) {
+            leftIdx.push_back(i);
+        } else {
+            rightIdx.push_back(i);
+        }
+    }
+    if (leftIdx.empty() || rightIdx.empty())
+        return nodeId;  // numeric degeneracy; keep the leaf
+
+    // Recurse; re-fetch the node reference afterwards (vector may grow).
+    const int left = buildNode(rows, targets, leftIdx, depth + 1);
+    const int right = buildNode(rows, targets, rightIdx, depth + 1);
+    Node& node = nodes_[static_cast<std::size_t>(nodeId)];
+    node.leaf = false;
+    node.feature = best.feature;
+    node.threshold = best.threshold;
+    node.left = left;
+    node.right = right;
+    return nodeId;
+}
+
+double
+DecisionTreeRegressor::predict(std::span<const double> x) const
+{
+    if (nodes_.empty())
+        fatal("DecisionTreeRegressor::predict: model not trained");
+    int cur = 0;
+    while (!nodes_[static_cast<std::size_t>(cur)].leaf) {
+        const Node& node = nodes_[static_cast<std::size_t>(cur)];
+        cur = x[static_cast<std::size_t>(node.feature)] <= node.threshold
+                  ? node.left
+                  : node.right;
+    }
+    return nodes_[static_cast<std::size_t>(cur)].value;
+}
+
+std::vector<double>
+DecisionTreeRegressor::predict(const Dataset& data) const
+{
+    std::vector<double> out;
+    out.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.push_back(predict(data.row(i)));
+    return out;
+}
+
+std::vector<DecisionStep>
+DecisionTreeRegressor::decisionPath(std::span<const double> x) const
+{
+    if (nodes_.empty())
+        fatal("DecisionTreeRegressor::decisionPath: model not trained");
+    std::vector<DecisionStep> path;
+    int cur = 0;
+    while (!nodes_[static_cast<std::size_t>(cur)].leaf) {
+        const Node& node = nodes_[static_cast<std::size_t>(cur)];
+        DecisionStep step;
+        step.nodeId = cur;
+        step.feature = node.feature;
+        step.threshold = node.threshold;
+        step.wentLeft =
+            x[static_cast<std::size_t>(node.feature)] <= node.threshold;
+        path.push_back(step);
+        cur = step.wentLeft ? node.left : node.right;
+    }
+    return path;
+}
+
+std::vector<int>
+DecisionTreeRegressor::featureUsageCounts(std::span<const double> x) const
+{
+    std::vector<int> counts(featureNames_.size(), 0);
+    for (const auto& step : decisionPath(x))
+        counts[static_cast<std::size_t>(step.feature)] += 1;
+    return counts;
+}
+
+int
+DecisionTreeRegressor::depth() const
+{
+    int best = 0;
+    for (const auto& node : nodes_)
+        best = std::max(best, node.depth);
+    return best;
+}
+
+std::vector<double>
+DecisionTreeRegressor::featureImportances() const
+{
+    std::vector<double> imp(featureNames_.size(), 0.0);
+    for (const auto& node : nodes_) {
+        if (node.leaf)
+            continue;
+        const Node& l = nodes_[static_cast<std::size_t>(node.left)];
+        const Node& r = nodes_[static_cast<std::size_t>(node.right)];
+        const double decrease = node.sse - l.sse - r.sse;
+        imp[static_cast<std::size_t>(node.feature)] +=
+            std::max(decrease, 0.0);
+    }
+    double total = 0.0;
+    for (double v : imp)
+        total += v;
+    if (total > 0.0)
+        for (auto& v : imp)
+            v /= total;
+    return imp;
+}
+
+namespace {
+
+std::string
+featureLabel(const std::vector<std::string>& names, int feature)
+{
+    const auto idx = static_cast<std::size_t>(feature);
+    if (idx < names.size() && !names[idx].empty())
+        return names[idx];
+    return "f" + std::to_string(feature);
+}
+
+}  // namespace
+
+std::string
+DecisionTreeRegressor::toText() const
+{
+    std::ostringstream os;
+    os.precision(4);
+    // Iterative preorder walk with explicit depth.
+    std::vector<int> stack{0};
+    while (!stack.empty() && !nodes_.empty()) {
+        const int id = stack.back();
+        stack.pop_back();
+        const Node& node = nodes_[static_cast<std::size_t>(id)];
+        os << std::string(static_cast<std::size_t>(node.depth) * 2, ' ');
+        if (node.leaf) {
+            os << "leaf value=" << node.value << " n=" << node.samples
+               << '\n';
+        } else {
+            os << featureLabel(featureNames_, node.feature)
+               << " <= " << node.threshold << " (n=" << node.samples
+               << ")\n";
+            stack.push_back(node.right);
+            stack.push_back(node.left);
+        }
+    }
+    return os.str();
+}
+
+std::string
+DecisionTreeRegressor::toDot() const
+{
+    std::ostringstream os;
+    os << "digraph DecisionTree {\n  node [shape=box];\n";
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node& node = nodes_[i];
+        if (node.leaf) {
+            os << "  n" << i << " [label=\"" << node.value
+               << "\\nn=" << node.samples << "\"];\n";
+        } else {
+            os << "  n" << i << " [label=\""
+               << featureLabel(featureNames_, node.feature)
+               << " <= " << node.threshold << "\\nn=" << node.samples
+               << "\"];\n";
+            os << "  n" << i << " -> n" << node.left
+               << " [label=\"yes\"];\n";
+            os << "  n" << i << " -> n" << node.right
+               << " [label=\"no\"];\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace mapp::ml

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The CART-style decision-tree regressor at the heart of the paper's
+ * predictor: greedy MSE-minimizing binary splits (Section II-B.3), a
+ * depth hyper-parameter, and — because explainability is the point —
+ * full decision-path introspection: which features gate each test
+ * point's path and how often (Figures 10-12).
+ */
+
+#ifndef MAPP_ML_DECISION_TREE_H
+#define MAPP_ML_DECISION_TREE_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace mapp::ml {
+
+/** Decision-tree hyper-parameters. */
+struct DecisionTreeParams
+{
+    int maxDepth = 10;          ///< pre-specified depth bound
+    int minSamplesSplit = 2;    ///< nodes smaller than this become leaves
+    int minSamplesLeaf = 2;     ///< each child must keep at least this many
+    double minImpurityDecrease = 0.0;  ///< SSE reduction required to split
+};
+
+/** One step of a decision path: the node and the branch taken. */
+struct DecisionStep
+{
+    int nodeId = 0;
+    int feature = -1;       ///< feature tested at the node
+    double threshold = 0.0;
+    bool wentLeft = false;
+};
+
+/** A CART regression tree. */
+class DecisionTreeRegressor
+{
+  public:
+    explicit DecisionTreeRegressor(DecisionTreeParams params = {})
+        : params_(params)
+    {
+    }
+
+    /** Fit to a dataset (features + targets). @throws FatalError if empty. */
+    void fit(const Dataset& data);
+
+    /** Fit to raw rows/targets (used by the random forest). */
+    void fit(const std::vector<std::vector<double>>& rows,
+             const std::vector<double>& targets,
+             std::vector<std::string> feature_names = {});
+
+    /** Predict one sample. */
+    double predict(std::span<const double> x) const;
+
+    /** Predict every row of a dataset. */
+    std::vector<double> predict(const Dataset& data) const;
+
+    /** The internal decision nodes visited by a sample, in order. */
+    std::vector<DecisionStep> decisionPath(std::span<const double> x) const;
+
+    /**
+     * How many times each feature is tested on the sample's decision
+     * path (the quantity plotted in Figures 11-12).
+     */
+    std::vector<int> featureUsageCounts(std::span<const double> x) const;
+
+    /** Total number of nodes (internal + leaves). */
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** Depth actually reached. */
+    int depth() const;
+
+    /** True once fit() has run. */
+    bool trained() const { return !nodes_.empty(); }
+
+    /** Number of features the tree was trained on. */
+    std::size_t numFeatures() const { return featureNames_.size(); }
+
+    /** Feature names (empty strings if fitted from raw rows). */
+    const std::vector<std::string>& featureNames() const
+    {
+        return featureNames_;
+    }
+
+    /**
+     * Impurity-decrease feature importances, normalized to sum to 1
+     * (scikit-learn's definition).
+     */
+    std::vector<double> featureImportances() const;
+
+    /** Readable multi-line rendering of the tree. */
+    std::string toText() const;
+
+    /** Graphviz DOT rendering. */
+    std::string toDot() const;
+
+  private:
+    struct Node
+    {
+        bool leaf = true;
+        int feature = -1;
+        double threshold = 0.0;
+        double value = 0.0;       ///< mean target at the node
+        double sse = 0.0;         ///< sum of squared errors at the node
+        int samples = 0;
+        int left = -1;
+        int right = -1;
+        int depth = 0;
+    };
+
+    int buildNode(const std::vector<std::vector<double>>& rows,
+                  const std::vector<double>& targets,
+                  std::vector<std::size_t>& indices, int depth);
+
+    DecisionTreeParams params_;
+    std::vector<Node> nodes_;
+    std::vector<std::string> featureNames_;
+};
+
+}  // namespace mapp::ml
+
+#endif  // MAPP_ML_DECISION_TREE_H

@@ -1,0 +1,36 @@
+#include "ml/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mapp::ml {
+
+double
+kernel(std::span<const double> a, std::span<const double> b,
+       const KernelParams& params)
+{
+    const std::size_t n = std::min(a.size(), b.size());
+    switch (params.type) {
+      case KernelType::Linear: {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            acc += a[i] * b[i];
+        return acc;
+      }
+      case KernelType::Rbf: {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            acc += (a[i] - b[i]) * (a[i] - b[i]);
+        return std::exp(-params.gamma * acc);
+      }
+      case KernelType::Polynomial: {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            acc += a[i] * b[i];
+        return std::pow(params.gamma * acc + params.coef0, params.degree);
+      }
+    }
+    return 0.0;
+}
+
+}  // namespace mapp::ml

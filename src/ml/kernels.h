@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Kernel functions for support vector regression: the similarity metric
+ * in the (possibly transformed) feature space (Section II-B.2).
+ */
+
+#ifndef MAPP_ML_KERNELS_H
+#define MAPP_ML_KERNELS_H
+
+#include <span>
+
+namespace mapp::ml {
+
+/** Supported kernel families. */
+enum class KernelType { Linear, Rbf, Polynomial };
+
+/** Kernel configuration. */
+struct KernelParams
+{
+    KernelType type = KernelType::Rbf;
+    double gamma = 0.5;   ///< RBF width / polynomial scale
+    double coef0 = 1.0;   ///< polynomial offset
+    int degree = 3;       ///< polynomial degree
+};
+
+/** Evaluate k(a, b) under the given kernel. */
+double kernel(std::span<const double> a, std::span<const double> b,
+              const KernelParams& params);
+
+}  // namespace mapp::ml
+
+#endif  // MAPP_ML_KERNELS_H

@@ -1,0 +1,61 @@
+#include "ml/linear_regression.h"
+
+#include "common/log.h"
+#include "common/matrix.h"
+
+namespace mapp::ml {
+
+void
+LinearRegression::fit(const Dataset& data)
+{
+    if (data.empty())
+        fatal("LinearRegression::fit: empty dataset");
+    const std::size_t n = data.size();
+    const std::size_t d = data.numFeatures();
+
+    // Augmented design matrix [X | 1] -> solve (A^T A + rI) w = A^T y.
+    Matrix ata(d + 1, d + 1);
+    std::vector<double> aty(d + 1, 0.0);
+    for (std::size_t r = 0; r < n; ++r) {
+        const auto& row = data.row(r);
+        const double y = data.target(r);
+        for (std::size_t i = 0; i <= d; ++i) {
+            const double xi = i < d ? row[i] : 1.0;
+            aty[i] += xi * y;
+            for (std::size_t j = 0; j <= d; ++j) {
+                const double xj = j < d ? row[j] : 1.0;
+                ata(i, j) += xi * xj;
+            }
+        }
+    }
+    for (std::size_t i = 0; i <= d; ++i)
+        ata(i, i) += params_.ridge;
+
+    const auto sol = linalg::solveSpd(ata, aty);
+    w_.assign(sol.begin(), sol.begin() + static_cast<long>(d));
+    b_ = sol[d];
+    trained_ = true;
+}
+
+double
+LinearRegression::predict(std::span<const double> x) const
+{
+    if (!trained_)
+        fatal("LinearRegression::predict: model not trained");
+    double acc = b_;
+    for (std::size_t i = 0; i < w_.size() && i < x.size(); ++i)
+        acc += w_[i] * x[i];
+    return acc;
+}
+
+std::vector<double>
+LinearRegression::predict(const Dataset& data) const
+{
+    std::vector<double> out;
+    out.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.push_back(predict(data.row(i)));
+    return out;
+}
+
+}  // namespace mapp::ml

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ordinary least squares with optional ridge regularization, solved via
+ * the normal equations (Cholesky). Included as the baseline regression
+ * family the paper discusses (Section II-B.1) and as a comparison model.
+ */
+
+#ifndef MAPP_ML_LINEAR_REGRESSION_H
+#define MAPP_ML_LINEAR_REGRESSION_H
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace mapp::ml {
+
+/** Linear-regression hyper-parameters. */
+struct LinearRegressionParams
+{
+    double ridge = 1e-8;  ///< L2 regularization (also numerical jitter)
+};
+
+/** y = w . x + b fit by (ridge-regularized) least squares. */
+class LinearRegression
+{
+  public:
+    explicit LinearRegression(LinearRegressionParams params = {})
+        : params_(params)
+    {
+    }
+
+    /** Fit to a dataset. @throws FatalError on empty data. */
+    void fit(const Dataset& data);
+
+    /** Predict one sample. */
+    double predict(std::span<const double> x) const;
+
+    /** Predict all rows. */
+    std::vector<double> predict(const Dataset& data) const;
+
+    const std::vector<double>& weights() const { return w_; }
+    double intercept() const { return b_; }
+    bool trained() const { return trained_; }
+
+  private:
+    LinearRegressionParams params_;
+    std::vector<double> w_;
+    double b_ = 0.0;
+    bool trained_ = false;
+};
+
+}  // namespace mapp::ml
+
+#endif  // MAPP_ML_LINEAR_REGRESSION_H

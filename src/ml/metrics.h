@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Regression error metrics. relativeErrorPercent implements the paper's
+ * metric: |true - predicted| / true x 100 (Section VI).
+ */
+
+#ifndef MAPP_ML_METRICS_H
+#define MAPP_ML_METRICS_H
+
+#include <span>
+
+namespace mapp::ml {
+
+/** Mean squared error (the training loss, Equation 1). */
+double meanSquaredError(std::span<const double> truth,
+                        std::span<const double> predicted);
+
+/** The paper's relative error for one prediction, in percent. */
+double relativeErrorPercent(double truth, double predicted);
+
+/** Mean of the per-point relative errors, in percent. */
+double meanRelativeErrorPercent(std::span<const double> truth,
+                                std::span<const double> predicted);
+
+/** Coefficient of determination (R^2). */
+double r2Score(std::span<const double> truth,
+               std::span<const double> predicted);
+
+}  // namespace mapp::ml
+
+#endif  // MAPP_ML_METRICS_H

@@ -1,0 +1,56 @@
+#include "ml/random_forest.h"
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace mapp::ml {
+
+void
+RandomForestRegressor::fit(const Dataset& data)
+{
+    if (data.empty())
+        fatal("RandomForestRegressor::fit: empty dataset");
+
+    trees_.clear();
+    Rng rng(params_.seed);
+    const auto n = data.size();
+    const auto sampleSize = std::max<std::size_t>(
+        static_cast<std::size_t>(static_cast<double>(n) *
+                                 params_.sampleFraction),
+        1);
+
+    for (int t = 0; t < params_.numTrees; ++t) {
+        std::vector<std::size_t> indices;
+        indices.reserve(sampleSize);
+        for (std::size_t i = 0; i < sampleSize; ++i)
+            indices.push_back(static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(n) - 1)));
+        const Dataset sample = data.subset(indices);
+        DecisionTreeRegressor tree(params_.tree);
+        tree.fit(sample);
+        trees_.push_back(std::move(tree));
+    }
+}
+
+double
+RandomForestRegressor::predict(std::span<const double> x) const
+{
+    if (trees_.empty())
+        fatal("RandomForestRegressor::predict: model not trained");
+    double acc = 0.0;
+    for (const auto& tree : trees_)
+        acc += tree.predict(x);
+    return acc / static_cast<double>(trees_.size());
+}
+
+std::vector<double>
+RandomForestRegressor::predict(const Dataset& data) const
+{
+    std::vector<double> out;
+    out.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+        out.push_back(predict(data.row(i)));
+    return out;
+}
+
+}  // namespace mapp::ml

@@ -1,0 +1,264 @@
+#include "predictor/data_collection.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/log.h"
+#include "profiler/mica.h"
+
+namespace mapp::predictor {
+
+bool
+BagMember::operator<(const BagMember& rhs) const
+{
+    if (id != rhs.id)
+        return static_cast<int>(id) < static_cast<int>(rhs.id);
+    return batchSize < rhs.batchSize;
+}
+
+BagSpec
+BagSpec::canonical() const
+{
+    BagSpec out = *this;
+    if (out.b < out.a)
+        std::swap(out.a, out.b);
+    return out;
+}
+
+std::string
+BagSpec::label() const
+{
+    std::ostringstream os;
+    os << vision::benchmarkName(a.id) << '@' << a.batchSize << '+'
+       << vision::benchmarkName(b.id) << '@' << b.batchSize;
+    return os.str();
+}
+
+std::string
+BagSpec::groupLabel() const
+{
+    return vision::benchmarkName(a.id) + "+" + vision::benchmarkName(b.id);
+}
+
+DataCollector::DataCollector(cpusim::CpuConfig cpu_config,
+                             gpusim::GpuConfig gpu_config,
+                             CollectorParams params)
+    : cpu_(cpu_config), gpu_(gpu_config), params_(params)
+{
+}
+
+int
+DataCollector::bestThreads(const BagMember& member)
+{
+    if (params_.forcedThreads > 0)
+        return params_.forcedThreads;
+    auto it = threadCache_.find(member);
+    if (it == threadCache_.end()) {
+        const auto& trace =
+            vision::cachedTrace(member.id, member.batchSize);
+        it = threadCache_.emplace(member, cpu_.bestThreadCount(trace))
+                 .first;
+    }
+    return it->second;
+}
+
+double
+DataCollector::ipcAlone(const BagMember& member)
+{
+    auto it = ipcCache_.find(member);
+    if (it == ipcCache_.end()) {
+        const auto& trace =
+            vision::cachedTrace(member.id, member.batchSize);
+        const auto result = cpu_.runAlone(trace, bestThreads(member));
+        it = ipcCache_.emplace(member, result.ipc).first;
+    }
+    return it->second;
+}
+
+const AppFeatures&
+DataCollector::appFeatures(const BagMember& member)
+{
+    auto it = featureCache_.find(member);
+    if (it != featureCache_.end())
+        return it->second;
+
+    const auto& trace = vision::cachedTrace(member.id, member.batchSize);
+    const auto mica = profiler::characterize(trace);
+
+    AppFeatures f;
+    f.app = vision::benchmarkName(member.id);
+    f.batchSize = member.batchSize;
+    f.cpuTime = cpu_.runAlone(trace, bestThreads(member)).time;
+    f.gpuTime = gpu_.runAlone(trace).time;
+    f.mixPercent = mica.mixPercent;
+    return featureCache_.emplace(member, std::move(f)).first->second;
+}
+
+double
+DataCollector::measureFairness(const BagSpec& raw_spec)
+{
+    const BagSpec spec = raw_spec.canonical();
+    const auto& traceA = vision::cachedTrace(spec.a.id, spec.a.batchSize);
+    const auto& traceB = vision::cachedTrace(spec.b.id, spec.b.batchSize);
+    const auto cpuBag = cpu_.runShared(
+        {&traceA, &traceB}, {bestThreads(spec.a), bestThreads(spec.b)});
+    const std::vector<double> ipcShared{cpuBag.apps[0].ipc,
+                                        cpuBag.apps[1].ipc};
+    const std::vector<double> alone{ipcAlone(spec.a), ipcAlone(spec.b)};
+    return fairness(ipcShared, alone, params_.fairnessVariant);
+}
+
+DataPoint
+DataCollector::collect(const BagSpec& raw_spec)
+{
+    const BagSpec spec = raw_spec.canonical();
+
+    DataPoint point;
+    point.spec = spec;
+    point.a = appFeatures(spec.a);
+    point.b = appFeatures(spec.b);
+
+    const auto& traceA = vision::cachedTrace(spec.a.id, spec.a.batchSize);
+    const auto& traceB = vision::cachedTrace(spec.b.id, spec.b.batchSize);
+
+    // Fairness: the bag's CPU co-run vs. alone IPCs (Equation 2).
+    const auto cpuBag = cpu_.runShared(
+        {&traceA, &traceB}, {bestThreads(spec.a), bestThreads(spec.b)});
+    point.cpuSharedMakespan = cpuBag.makespan;
+    const std::vector<double> ipcShared{cpuBag.apps[0].ipc,
+                                        cpuBag.apps[1].ipc};
+    const std::vector<double> alone{ipcAlone(spec.a), ipcAlone(spec.b)};
+    point.fairness =
+        fairness(ipcShared, alone, params_.fairnessVariant);
+
+    // The target: the bag's GPU execution time under MPS.
+    point.gpuBagTime = gpu_.runShared({&traceA, &traceB}).makespan;
+    return point;
+}
+
+std::vector<DataPoint>
+DataCollector::collectAll(const std::vector<BagSpec>& specs)
+{
+    std::vector<DataPoint> out;
+    out.reserve(specs.size());
+    for (const auto& spec : specs)
+        out.push_back(collect(spec));
+    return out;
+}
+
+std::vector<BagSpec>
+DataCollector::campaign91()
+{
+    std::vector<BagSpec> specs;
+
+    // 45 homogeneous bags: every benchmark at every batch size.
+    for (vision::BenchmarkId id : vision::kAllBenchmarks) {
+        for (int batch : vision::kBatchSizes) {
+            BagMember m{id, batch};
+            specs.push_back(BagSpec{m, m});
+        }
+    }
+
+    // 36 heterogeneous pairs at the standard batch of 20.
+    for (std::size_t i = 0; i < vision::kAllBenchmarks.size(); ++i) {
+        for (std::size_t j = i + 1; j < vision::kAllBenchmarks.size();
+             ++j) {
+            specs.push_back(
+                BagSpec{{vision::kAllBenchmarks[i], 20},
+                        {vision::kAllBenchmarks[j], 20}});
+        }
+    }
+
+    // 10 heterogeneous pairs with mixed batch sizes (deterministic
+    // stride-3 pairing; the second lap uses larger batches).
+    for (int k = 0; k < 10; ++k) {
+        const auto i = static_cast<std::size_t>(k) % 9;
+        const auto j = (i + 3) % 9;
+        const int batchA = k < 9 ? 40 : 80;
+        const int batchB = k < 9 ? 160 : 320;
+        specs.push_back(BagSpec{{vision::kAllBenchmarks[i], batchA},
+                                {vision::kAllBenchmarks[j], batchB}});
+    }
+
+    if (specs.size() != 91)
+        panic("campaign91: expected 91 bags");
+    return specs;
+}
+
+std::vector<Seconds>
+DataCollector::cpuHomogeneousScaling(const BagMember& member,
+                                     int max_instances)
+{
+    const auto& trace = vision::cachedTrace(member.id, member.batchSize);
+    const int threads = bestThreads(member);
+
+    std::vector<Seconds> out;
+    out.reserve(static_cast<std::size_t>(max_instances));
+    for (int k = 1; k <= max_instances; ++k) {
+        std::vector<const isa::WorkloadTrace*> traces(
+            static_cast<std::size_t>(k), &trace);
+        std::vector<int> teams(static_cast<std::size_t>(k), threads);
+        out.push_back(cpu_.runShared(traces, teams).makespan);
+    }
+    return out;
+}
+
+std::vector<Seconds>
+DataCollector::gpuHomogeneousScaling(const BagMember& member,
+                                     int max_instances)
+{
+    const auto& trace = vision::cachedTrace(member.id, member.batchSize);
+
+    std::vector<Seconds> out;
+    out.reserve(static_cast<std::size_t>(max_instances));
+    for (int k = 1; k <= max_instances; ++k) {
+        std::vector<const isa::WorkloadTrace*> traces(
+            static_cast<std::size_t>(k), &trace);
+        out.push_back(gpu_.runShared(traces).makespan);
+    }
+    return out;
+}
+
+ml::Dataset
+toDataset(const std::vector<DataPoint>& points)
+{
+    ml::Dataset data(bagFeatureNames());
+    for (const auto& p : points) {
+        data.addRow(buildBagVector(p.a, p.b, p.fairness), p.gpuBagTime,
+                    p.spec.groupLabel());
+    }
+    return data;
+}
+
+std::pair<ml::Dataset, ml::Dataset>
+splitOutBenchmark(const ml::Dataset& data, const std::string& benchmark)
+{
+    auto containsToken = [&](const std::string& group) {
+        std::size_t start = 0;
+        while (start <= group.size()) {
+            const std::size_t end = group.find('+', start);
+            const std::string token =
+                group.substr(start, end == std::string::npos
+                                        ? std::string::npos
+                                        : end - start);
+            if (token == benchmark)
+                return true;
+            if (end == std::string::npos)
+                break;
+            start = end + 1;
+        }
+        return false;
+    };
+
+    std::vector<std::size_t> trainIdx;
+    std::vector<std::size_t> testIdx;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (containsToken(data.group(i)))
+            testIdx.push_back(i);
+        else
+            trainIdx.push_back(i);
+    }
+    return {data.subset(trainIdx), data.subset(testIdx)};
+}
+
+}  // namespace mapp::predictor

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Decision-path analytics (Section VI-C): for every LOOCV test point,
+ * which features its decision path tests and how many times. Slot
+ * features (a0_gpu_time / a1_gpu_time) are aggregated to their base
+ * names, matching the per-feature axes of Figures 10-12.
+ */
+
+#ifndef MAPP_PREDICTOR_DECISION_ANALYSIS_H
+#define MAPP_PREDICTOR_DECISION_ANALYSIS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "predictor/predictor.h"
+
+namespace mapp::predictor {
+
+/** Per-test-point feature usage along its decision path. */
+struct PathUsage
+{
+    std::string pointLabel;  ///< bag group + index
+    /** base feature name -> times tested on the path */
+    std::map<std::string, int> counts;
+};
+
+/** Aggregated decision-path statistics over a set of test points. */
+struct DecisionPathStats
+{
+    /** Base feature names, canonical order. */
+    std::vector<std::string> features;
+
+    /** Per-test-point usage rows (Figure 12's heatmap). */
+    std::vector<PathUsage> points;
+
+    /** Percent of test points whose path uses the feature (Figure 10). */
+    std::map<std::string, double> presencePercent;
+
+    /** Mean number of times a feature is tested per point (Figure 11). */
+    std::map<std::string, double> meanUsage;
+
+    /** Max times any point tested the feature (Figure 11 rings). */
+    std::map<std::string, int> maxUsage;
+};
+
+/**
+ * Run the paper's LOOCV over the raw dataset, and for every held-out
+ * test point record which base features its decision path uses in the
+ * fold's trained tree.
+ */
+DecisionPathStats analyzeDecisionPaths(
+    const ml::Dataset& raw, const PredictorParams& params,
+    const std::vector<std::string>& benchmarks);
+
+}  // namespace mapp::predictor
+
+#endif  // MAPP_PREDICTOR_DECISION_ANALYSIS_H

@@ -1,0 +1,62 @@
+#include "predictor/fairness.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/log.h"
+
+namespace mapp::predictor {
+
+std::vector<double>
+slowdowns(std::span<const double> ipc_shared,
+          std::span<const double> ipc_alone)
+{
+    if (ipc_shared.size() != ipc_alone.size() || ipc_shared.empty())
+        fatal("slowdowns: mismatched or empty IPC vectors");
+    std::vector<double> out;
+    out.reserve(ipc_shared.size());
+    for (std::size_t i = 0; i < ipc_shared.size(); ++i) {
+        if (ipc_alone[i] <= 0.0)
+            fatal("slowdowns: non-positive alone IPC");
+        out.push_back(ipc_shared[i] / ipc_alone[i]);
+    }
+    return out;
+}
+
+double
+fairness(std::span<const double> ipc_shared,
+         std::span<const double> ipc_alone, FairnessVariant variant)
+{
+    const auto s = slowdowns(ipc_shared, ipc_alone);
+    switch (variant) {
+      case FairnessVariant::MinOverPairs: {
+        // min over pairs (i, j) of s_i / s_j == min(s) / max(s).
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = 0.0;
+        for (double v : s) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        return hi > 0.0 ? lo / hi : 0.0;
+      }
+      case FairnessVariant::MeanSlowdown: {
+        double acc = 0.0;
+        for (double v : s)
+            acc += v;
+        return acc / static_cast<double>(s.size());
+      }
+      case FairnessVariant::HarmonicMean: {
+        double acc = 0.0;
+        for (double v : s) {
+            if (v <= 0.0)
+                return 0.0;
+            acc += 1.0 / v;
+        }
+        return static_cast<double>(s.size()) / acc;
+      }
+    }
+    return 0.0;
+}
+
+}  // namespace mapp::predictor

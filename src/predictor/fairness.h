@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The paper's fairness feature (Equation 2): for a bag of tasks T, each
+ * task's slowdown is IPC_shared / IPC_alone, and fairness is the
+ * minimum over ordered task pairs of the ratio of their slowdowns —
+ * equivalently min slowdown / max slowdown. It is measured on the
+ * multicore CPU (Linux perf in the paper; the CPU simulator's IPCs
+ * here) and quantifies contention in a shared environment.
+ */
+
+#ifndef MAPP_PREDICTOR_FAIRNESS_H
+#define MAPP_PREDICTOR_FAIRNESS_H
+
+#include <span>
+#include <vector>
+
+namespace mapp::predictor {
+
+/** How the per-task slowdowns are folded into one number. */
+enum class FairnessVariant {
+    MinOverPairs,   ///< Equation 2: min slowdown / max slowdown
+    MeanSlowdown,   ///< ablation: arithmetic mean of slowdowns
+    HarmonicMean,   ///< ablation: harmonic mean of slowdowns
+};
+
+/**
+ * Fairness of a bag given each task's shared and alone IPCs.
+ *
+ * @param ipc_shared per-task IPC when co-running
+ * @param ipc_alone per-task IPC in isolation
+ * @param variant folding rule (Equation 2 by default)
+ * @return fairness in (0, 1] for MinOverPairs; 1 means no one is
+ *         disproportionately slowed down
+ */
+double fairness(std::span<const double> ipc_shared,
+                std::span<const double> ipc_alone,
+                FairnessVariant variant = FairnessVariant::MinOverPairs);
+
+/** Per-task slowdowns IPC_shared / IPC_alone. */
+std::vector<double> slowdowns(std::span<const double> ipc_shared,
+                              std::span<const double> ipc_alone);
+
+}  // namespace mapp::predictor
+
+#endif  // MAPP_PREDICTOR_FAIRNESS_H

@@ -1,0 +1,164 @@
+#include "predictor/predictor.h"
+
+#include "common/log.h"
+#include "ml/metrics.h"
+
+namespace mapp::predictor {
+
+MultiAppPredictor::MultiAppPredictor(PredictorParams params)
+    : params_(std::move(params))
+{
+}
+
+ml::Dataset
+MultiAppPredictor::projectAndNormalizeTrain(const ml::Dataset& raw)
+{
+    const ml::Dataset projected =
+        raw.selectFeatures(params_.scheme.featureNames());
+    normalizer_ = RangeNormalizer();
+    normalizer_.fit(projected);
+    return normalizer_.apply(projected);
+}
+
+void
+MultiAppPredictor::train(const std::vector<DataPoint>& points)
+{
+    train(toDataset(points));
+}
+
+void
+MultiAppPredictor::train(const ml::Dataset& raw)
+{
+    if (raw.empty())
+        fatal("MultiAppPredictor::train: empty dataset");
+    const ml::Dataset prepared = projectAndNormalizeTrain(raw);
+    trainLayout_ = ml::Dataset(prepared.featureNames());
+    tree_.emplace(params_.tree);
+    tree_->fit(prepared);
+}
+
+double
+MultiAppPredictor::predict(const AppFeatures& a, const AppFeatures& b,
+                           double fairness) const
+{
+    if (!trained())
+        fatal("MultiAppPredictor::predict: model not trained");
+
+    // Build the full bag vector, project to the scheme, normalize.
+    ml::Dataset full(bagFeatureNames());
+    full.addRow(buildBagVector(a, b, fairness), 0.0, "");
+    const ml::Dataset projected =
+        full.selectFeatures(params_.scheme.featureNames());
+    const auto row =
+        normalizer_.applyRow(projected, projected.row(0));
+    return normalizer_.denormalizeTarget(tree_->predict(row));
+}
+
+double
+MultiAppPredictor::predict(const DataPoint& point) const
+{
+    return predict(point.a, point.b, point.fairness);
+}
+
+Explanation
+MultiAppPredictor::explain(const DataPoint& point) const
+{
+    if (!trained())
+        fatal("MultiAppPredictor::explain: model not trained");
+
+    ml::Dataset full(bagFeatureNames());
+    full.addRow(buildBagVector(point.a, point.b, point.fairness), 0.0, "");
+    const ml::Dataset projected =
+        full.selectFeatures(params_.scheme.featureNames());
+    const auto row = normalizer_.applyRow(projected, projected.row(0));
+
+    Explanation e;
+    e.predictedSeconds =
+        normalizer_.denormalizeTarget(tree_->predict(row));
+    e.path = tree_->decisionPath(row);
+    e.featureNames = projected.featureNames();
+    return e;
+}
+
+const ml::DecisionTreeRegressor&
+MultiAppPredictor::tree() const
+{
+    if (!trained())
+        fatal("MultiAppPredictor::tree: model not trained");
+    return *tree_;
+}
+
+std::vector<std::pair<std::string, double>>
+MultiAppPredictor::featureImportances() const
+{
+    const auto imp = tree().featureImportances();
+    const auto& names = tree_->featureNames();
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(imp.size());
+    for (std::size_t i = 0; i < imp.size(); ++i)
+        out.emplace_back(names[i], imp[i]);
+    return out;
+}
+
+ml::CrossValidationResult
+MultiAppPredictor::looBenchmarkCv(const ml::Dataset& raw,
+                                  const PredictorParams& params,
+                                  const std::vector<std::string>& benchmarks)
+{
+    ml::CrossValidationResult result;
+    for (const auto& bench : benchmarks) {
+        auto [train, test] = splitOutBenchmark(raw, bench);
+        ml::FoldResult fold;
+        fold.label = bench;
+        fold.testPoints = test.size();
+        if (!train.empty() && !test.empty()) {
+            MultiAppPredictor model(params);
+            model.train(train);
+
+            // Evaluate in raw target units (the normalizer round-trips).
+            const ml::Dataset projected =
+                test.selectFeatures(params.scheme.featureNames());
+            std::vector<double> predictions;
+            predictions.reserve(test.size());
+            for (std::size_t i = 0; i < projected.size(); ++i) {
+                const auto row = model.normalizer_.applyRow(
+                    projected, projected.row(i));
+                predictions.push_back(model.normalizer_.denormalizeTarget(
+                    model.tree_->predict(row)));
+            }
+            fold.meanRelativeError = ml::meanRelativeErrorPercent(
+                test.targets(), predictions);
+            fold.mse =
+                ml::meanSquaredError(test.targets(), predictions);
+        }
+        result.folds.push_back(std::move(fold));
+    }
+    return result;
+}
+
+double
+MultiAppPredictor::holdoutRelativeError(const ml::Dataset& raw,
+                                        const PredictorParams& params,
+                                        double test_fraction, Rng& rng)
+{
+    auto [train, test] = raw.trainTestSplit(test_fraction, rng);
+    if (train.empty() || test.empty())
+        fatal("holdoutRelativeError: degenerate split");
+
+    MultiAppPredictor model(params);
+    model.train(train);
+
+    const ml::Dataset projected =
+        test.selectFeatures(params.scheme.featureNames());
+    std::vector<double> predictions;
+    predictions.reserve(test.size());
+    for (std::size_t i = 0; i < projected.size(); ++i) {
+        const auto row =
+            model.normalizer_.applyRow(projected, projected.row(i));
+        predictions.push_back(model.normalizer_.denormalizeTarget(
+            model.tree_->predict(row)));
+    }
+    return ml::meanRelativeErrorPercent(test.targets(), predictions);
+}
+
+}  // namespace mapp::predictor

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The public API of the paper's contribution: MultiAppPredictor trains a
+ * decision-tree regressor on measured bag data points (under any feature
+ * scheme, with the Section V-C range normalization) and predicts the GPU
+ * execution time of unseen bags. Explainability hooks expose the tree,
+ * feature importances and per-prediction decision paths.
+ */
+
+#ifndef MAPP_PREDICTOR_PREDICTOR_H
+#define MAPP_PREDICTOR_PREDICTOR_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ml/cross_validation.h"
+#include "ml/decision_tree.h"
+#include "predictor/data_collection.h"
+#include "predictor/features.h"
+#include "predictor/schemes.h"
+
+namespace mapp::predictor {
+
+/** Predictor hyper-parameters. */
+struct PredictorParams
+{
+    ml::DecisionTreeParams tree;
+    FeatureScheme scheme;  ///< defaults to the full Table-IV vector
+
+    PredictorParams() { scheme = fullScheme(); }
+};
+
+/** A prediction plus its explanation. */
+struct Explanation
+{
+    double predictedSeconds = 0.0;
+    std::vector<ml::DecisionStep> path;     ///< nodes on the decision path
+    std::vector<std::string> featureNames;  ///< names for path features
+};
+
+/** The multi-application GPU performance predictor. */
+class MultiAppPredictor
+{
+  public:
+    explicit MultiAppPredictor(PredictorParams params = PredictorParams());
+
+    /** Train on measured data points. @throws FatalError if empty. */
+    void train(const std::vector<DataPoint>& points);
+
+    /** Train on a pre-built raw (unnormalized) dataset. */
+    void train(const ml::Dataset& raw);
+
+    /** Predict the GPU bag time (seconds) for a measured bag's inputs. */
+    double predict(const DataPoint& point) const;
+
+    /** Predict from per-app features + fairness directly. */
+    double predict(const AppFeatures& a, const AppFeatures& b,
+                   double fairness) const;
+
+    /** Predict with the decision path attached. */
+    Explanation explain(const DataPoint& point) const;
+
+    /** The trained tree (for inspection). @throws if untrained. */
+    const ml::DecisionTreeRegressor& tree() const;
+
+    /** Importances keyed by the scheme's feature names. */
+    std::vector<std::pair<std::string, double>> featureImportances() const;
+
+    bool trained() const { return tree_.has_value() && tree_->trained(); }
+
+    const PredictorParams& params() const { return params_; }
+
+    /**
+     * The paper's LOOCV (Figure 4): per left-out benchmark, train on
+     * every bag not involving it and evaluate on the bags that do.
+     * Normalization is re-fit on each fold's training split.
+     */
+    static ml::CrossValidationResult looBenchmarkCv(
+        const ml::Dataset& raw, const PredictorParams& params,
+        const std::vector<std::string>& benchmarks);
+
+    /** An 80/20 shuffled split evaluation (Section V-D.2). */
+    static double holdoutRelativeError(const ml::Dataset& raw,
+                                       const PredictorParams& params,
+                                       double test_fraction, Rng& rng);
+
+  private:
+    ml::Dataset projectAndNormalizeTrain(const ml::Dataset& raw);
+
+    PredictorParams params_;
+    std::optional<ml::DecisionTreeRegressor> tree_;
+    RangeNormalizer normalizer_;
+    ml::Dataset trainLayout_;  ///< empty dataset carrying feature names
+};
+
+}  // namespace mapp::predictor
+
+#endif  // MAPP_PREDICTOR_PREDICTOR_H

@@ -1,0 +1,173 @@
+#include "predictor/scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/log.h"
+
+namespace mapp::predictor {
+
+CoScheduler::CoScheduler(const MultiAppPredictor& model,
+                         DataCollector& collector)
+    : model_(model), collector_(collector)
+{
+}
+
+double
+CoScheduler::predictBag(const BagSpec& raw_spec) const
+{
+    const BagSpec spec = raw_spec.canonical();
+    const double fairness = collector_.measureFairness(spec);
+    return model_.predict(collector_.appFeatures(spec.a),
+                          collector_.appFeatures(spec.b), fairness);
+}
+
+void
+CoScheduler::finalize(Schedule& schedule) const
+{
+    schedule.predictedTotalSeconds = 0.0;
+    for (auto& bag : schedule.bags) {
+        bag.predictedSeconds = predictBag(bag.spec);
+        schedule.predictedTotalSeconds += bag.predictedSeconds;
+    }
+    if (schedule.leftover) {
+        schedule.predictedTotalSeconds +=
+            collector_.appFeatures(*schedule.leftover).gpuTime;
+    }
+}
+
+Schedule
+CoScheduler::pairFifo(std::vector<BagMember> jobs) const
+{
+    Schedule schedule;
+    for (std::size_t i = 0; i + 1 < jobs.size(); i += 2)
+        schedule.bags.push_back({BagSpec{jobs[i], jobs[i + 1]}, 0.0});
+    if (jobs.size() % 2 == 1)
+        schedule.leftover = jobs.back();
+    finalize(schedule);
+    return schedule;
+}
+
+Schedule
+CoScheduler::pairGreedy(std::vector<BagMember> jobs) const
+{
+    Schedule schedule;
+    while (jobs.size() >= 2) {
+        const BagMember head = jobs.front();
+        jobs.erase(jobs.begin());
+        std::size_t bestIdx = 0;
+        double bestPred = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            const double pred = predictBag(BagSpec{head, jobs[i]});
+            if (pred < bestPred) {
+                bestPred = pred;
+                bestIdx = i;
+            }
+        }
+        schedule.bags.push_back(
+            {BagSpec{head, jobs[bestIdx]}.canonical(), bestPred});
+        jobs.erase(jobs.begin() + static_cast<long>(bestIdx));
+    }
+    if (!jobs.empty())
+        schedule.leftover = jobs.front();
+    finalize(schedule);
+    return schedule;
+}
+
+namespace {
+
+/** Recursively enumerate perfect matchings, tracking the best total. */
+void
+bestMatching(std::vector<BagMember>& pool,
+             std::vector<ScheduledBag>& current, double currentTotal,
+             const std::function<double(const BagSpec&)>& cost,
+             double& bestTotal, std::vector<ScheduledBag>& best)
+{
+    if (pool.size() < 2) {
+        if (currentTotal < bestTotal) {
+            bestTotal = currentTotal;
+            best = current;
+        }
+        return;
+    }
+    if (currentTotal >= bestTotal)
+        return;  // prune
+
+    const BagMember head = pool.front();
+    pool.erase(pool.begin());
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+        const BagMember partner = pool[i];
+        pool.erase(pool.begin() + static_cast<long>(i));
+
+        const BagSpec spec = BagSpec{head, partner}.canonical();
+        const double c = cost(spec);
+        current.push_back({spec, c});
+        bestMatching(pool, current, currentTotal + c, cost, bestTotal,
+                     best);
+        current.pop_back();
+
+        pool.insert(pool.begin() + static_cast<long>(i), partner);
+    }
+    pool.insert(pool.begin(), head);
+}
+
+}  // namespace
+
+Schedule
+CoScheduler::pairExhaustive(std::vector<BagMember> jobs) const
+{
+    if (jobs.size() > 14)
+        fatal("CoScheduler: exhaustive pairing limited to 14 jobs");
+
+    Schedule schedule;
+    if (jobs.size() % 2 == 1) {
+        schedule.leftover = jobs.back();
+        jobs.pop_back();
+    }
+
+    // Memoize bag predictions: the matching enumeration revisits pairs.
+    std::map<std::pair<BagMember, BagMember>, double> cache;
+    auto cost = [&](const BagSpec& spec) {
+        const auto key = std::make_pair(spec.a, spec.b);
+        auto it = cache.find(key);
+        if (it == cache.end())
+            it = cache.emplace(key, predictBag(spec)).first;
+        return it->second;
+    };
+
+    double bestTotal = std::numeric_limits<double>::infinity();
+    std::vector<ScheduledBag> best;
+    std::vector<ScheduledBag> current;
+    bestMatching(jobs, current, 0.0, cost, bestTotal, best);
+    schedule.bags = std::move(best);
+    finalize(schedule);
+    return schedule;
+}
+
+Schedule
+CoScheduler::schedule(const std::vector<BagMember>& jobs,
+                      PairingPolicy policy) const
+{
+    switch (policy) {
+      case PairingPolicy::Fifo:
+        return pairFifo(jobs);
+      case PairingPolicy::Greedy:
+        return pairGreedy(jobs);
+      case PairingPolicy::Exhaustive:
+        return pairExhaustive(jobs);
+    }
+    panic("CoScheduler::schedule: invalid policy");
+}
+
+double
+CoScheduler::measure(const Schedule& schedule) const
+{
+    double total = 0.0;
+    for (const auto& bag : schedule.bags)
+        total += collector_.collect(bag.spec).gpuBagTime;
+    if (schedule.leftover)
+        total += collector_.appFeatures(*schedule.leftover).gpuTime;
+    return total;
+}
+
+}  // namespace mapp::predictor

@@ -1,0 +1,152 @@
+#include "predictor/schemes.h"
+
+#include "common/log.h"
+#include "predictor/features.h"
+
+namespace mapp::predictor {
+
+std::vector<std::string>
+FeatureScheme::featureNames() const
+{
+    std::vector<std::string> bases;
+    if (cpuTime)
+        bases.push_back("cpu_time");
+    if (gpuTime)
+        bases.push_back("gpu_time");
+    if (insmix) {
+        for (isa::InstClass c : isa::kAllInstClasses)
+            bases.push_back(isa::instClassName(c));
+    } else {
+        if (memOnly) {
+            bases.push_back("mem_rd");
+            bases.push_back("mem_wr");
+        }
+        if (computeOnly) {
+            bases.push_back("arith");
+            bases.push_back("sse");
+        }
+    }
+
+    std::vector<std::string> out;
+    for (int slot = 0; slot < kBagSize; ++slot)
+        for (const auto& base : bases)
+            out.push_back("a" + std::to_string(slot) + "_" + base);
+    if (fairness)
+        out.push_back("fairness");
+    return out;
+}
+
+FeatureScheme
+FeatureScheme::with(const std::string& component) const
+{
+    return addComponent(*this, component);
+}
+
+FeatureScheme
+addComponent(const FeatureScheme& base, const std::string& component)
+{
+    FeatureScheme s = base;
+    s.name = base.name.empty() ? component : base.name + "+" + component;
+    if (component == "cpu")
+        s.cpuTime = true;
+    else if (component == "gpu")
+        s.gpuTime = true;
+    else if (component == "fairness")
+        s.fairness = true;
+    else if (component == "insmix")
+        s.insmix = true;
+    else if (component == "mem")
+        s.memOnly = true;
+    else if (component == "arith+sse")
+        s.computeOnly = true;
+    else
+        fatal("addComponent: unknown component " + component);
+    return s;
+}
+
+FeatureScheme
+insmixScheme()
+{
+    FeatureScheme s;
+    s.name = "insmix";
+    s.insmix = true;
+    return s;
+}
+
+FeatureScheme
+fullScheme()
+{
+    FeatureScheme s;
+    s.name = "insmix+cpu+fairness+gpu (full)";
+    s.insmix = true;
+    s.cpuTime = true;
+    s.gpuTime = true;
+    s.fairness = true;
+    return s;
+}
+
+std::vector<FeatureScheme>
+figure5Schemes()
+{
+    FeatureScheme a = insmixScheme();
+    a.name = "Insmix (Baldini et al.)";
+
+    FeatureScheme b = insmixScheme();
+    b.cpuTime = true;
+    b.name = "Insmix+CPUtime";
+
+    FeatureScheme c = b;
+    c.fairness = true;
+    c.name = "Insmix+CPUtime+Fairness";
+
+    FeatureScheme d = fullScheme();
+    d.name = "Full";
+
+    return {a, b, c, d};
+}
+
+std::vector<FeatureScheme>
+sensitivityBaseSchemes()
+{
+    std::vector<FeatureScheme> out;
+
+    {
+        FeatureScheme s = insmixScheme();
+        out.push_back(s);
+    }
+    {
+        FeatureScheme s;
+        s.name = "mem";
+        s.memOnly = true;
+        out.push_back(s);
+    }
+    {
+        FeatureScheme s;
+        s.name = "arith+sse";
+        s.computeOnly = true;
+        out.push_back(s);
+    }
+    {
+        FeatureScheme s;
+        s.name = "mem+fairness";
+        s.memOnly = true;
+        s.fairness = true;
+        out.push_back(s);
+    }
+    {
+        FeatureScheme s;
+        s.name = "arith+sse+fairness";
+        s.computeOnly = true;
+        s.fairness = true;
+        out.push_back(s);
+    }
+    {
+        FeatureScheme s = insmixScheme();
+        s.fairness = true;
+        s.name = "insmix+fairness";
+        out.push_back(s);
+    }
+    return out;
+}
+
+}  // namespace mapp::predictor

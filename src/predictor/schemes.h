@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Feature schemes: named subsets of the bag feature vector used in the
+ * paper's comparisons (Figure 5) and sensitivity studies (Figures 6-9).
+ * A scheme is a combination of component groups — the full instruction
+ * mix (or its memory-only / compute-only restrictions), the CPU time,
+ * the GPU time, and fairness — expanded over both app slots.
+ */
+
+#ifndef MAPP_PREDICTOR_SCHEMES_H
+#define MAPP_PREDICTOR_SCHEMES_H
+
+#include <string>
+#include <vector>
+
+namespace mapp::predictor {
+
+/** Component groups a scheme may include. */
+struct FeatureScheme
+{
+    std::string name;        ///< display label
+    bool insmix = false;     ///< all nine mix classes
+    bool memOnly = false;    ///< only mem_rd + mem_wr
+    bool computeOnly = false;///< only arith + sse
+    bool cpuTime = false;
+    bool gpuTime = false;
+    bool fairness = false;
+
+    /** Bag feature names (a0_/a1_ expanded) selected by this scheme. */
+    std::vector<std::string> featureNames() const;
+
+    /** Copy of this scheme with a component added (for Figs. 6-9). */
+    FeatureScheme with(const std::string& component) const;
+};
+
+/** The four schemes of Figure 5, in bar order. */
+std::vector<FeatureScheme> figure5Schemes();
+
+/** Scheme: instruction mix only (Baldini et al.'s feature family). */
+FeatureScheme insmixScheme();
+
+/** Scheme: the full Table-IV feature vector. */
+FeatureScheme fullScheme();
+
+/**
+ * The base combinations swept in the sensitivity figures. Each figure
+ * takes these and reports error without/with one added component.
+ */
+std::vector<FeatureScheme> sensitivityBaseSchemes();
+
+/** Look up a component group by name ("cpu", "gpu", "fairness",
+ * "insmix"). @throws FatalError on unknown names. */
+FeatureScheme addComponent(const FeatureScheme& base,
+                           const std::string& component);
+
+}  // namespace mapp::predictor
+
+#endif  // MAPP_PREDICTOR_SCHEMES_H

@@ -1,0 +1,65 @@
+#include "profiler/mica.h"
+
+#include <sstream>
+
+namespace mapp::profiler {
+
+double
+MicaReport::percent(isa::InstClass c) const
+{
+    return mixPercent[static_cast<std::size_t>(c)];
+}
+
+double
+MicaReport::memPercent() const
+{
+    return percent(isa::InstClass::MemRead) +
+           percent(isa::InstClass::MemWrite);
+}
+
+std::string
+MicaReport::toString() const
+{
+    std::ostringstream os;
+    os.precision(2);
+    os << std::fixed;
+    os << app << " (batch=" << batchSize << ")\n"
+       << "  instructions: " << instructions << '\n'
+       << "  mix:";
+    for (isa::InstClass c : isa::kAllInstClasses)
+        os << ' ' << isa::instClassName(c) << '=' << percent(c) << '%';
+    os << '\n'
+       << "  bytes/inst: " << bytesPerInstruction << '\n'
+       << "  footprint: " << footprint / 1024 << " KiB\n"
+       << "  locality: " << locality
+       << "  parallel: " << parallelFraction
+       << "  divergence: " << branchDivergence << '\n';
+    return os.str();
+}
+
+MicaReport
+characterize(const isa::WorkloadTrace& trace)
+{
+    MicaReport r;
+    r.app = trace.app();
+    r.batchSize = trace.batchSize();
+    r.instructions = trace.totalInstructions();
+
+    const isa::InstMix mix = trace.totalMix();
+    for (isa::InstClass c : isa::kAllInstClasses)
+        r.mixPercent[static_cast<std::size_t>(c)] = mix.percent(c);
+
+    const auto traffic = static_cast<double>(trace.totalBytesRead() +
+                                             trace.totalBytesWritten());
+    r.bytesPerInstruction =
+        r.instructions
+            ? traffic / static_cast<double>(r.instructions)
+            : 0.0;
+    r.footprint = trace.peakFootprint();
+    r.locality = trace.meanLocality();
+    r.parallelFraction = trace.meanParallelFraction();
+    r.branchDivergence = trace.meanBranchDivergence();
+    return r;
+}
+
+}  // namespace mapp::profiler

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * MICA-style microarchitecture-independent characterization of a profiled
+ * workload trace. The report carries exactly the quantities the paper's
+ * feature vector consumes (instruction-mix percentages, Table IV) plus
+ * the auxiliary characteristics the simulators use.
+ */
+
+#ifndef MAPP_PROFILER_MICA_H
+#define MAPP_PROFILER_MICA_H
+
+#include <array>
+#include <string>
+
+#include "common/types.h"
+#include "isa/trace.h"
+
+namespace mapp::profiler {
+
+/** Architecture-independent characterization of one workload trace. */
+struct MicaReport
+{
+    /** Workload name. */
+    std::string app;
+
+    /** Input batch size. */
+    int batchSize = 0;
+
+    /** Total dynamic instructions. */
+    InstCount instructions = 0;
+
+    /** Mix percentages indexed by isa::InstClass (0-100). */
+    std::array<double, isa::kNumInstClasses> mixPercent{};
+
+    /** Bytes of memory traffic per instruction. */
+    double bytesPerInstruction = 0.0;
+
+    /** Peak working-set footprint in bytes. */
+    Bytes footprint = 0;
+
+    /** Instruction-weighted locality in [0, 1]. */
+    double locality = 0.0;
+
+    /** Instruction-weighted parallel fraction in [0, 1]. */
+    double parallelFraction = 0.0;
+
+    /** Instruction-weighted branch divergence in [0, 1]. */
+    double branchDivergence = 0.0;
+
+    /** Mix percentage for one class. */
+    double percent(isa::InstClass c) const;
+
+    /** Table IV's "MEM" = mem_rd + mem_wr percentages. */
+    double memPercent() const;
+
+    /** Render the report as a compact multi-line string. */
+    std::string toString() const;
+};
+
+/** Build the MICA report for a trace. */
+MicaReport characterize(const isa::WorkloadTrace& trace);
+
+}  // namespace mapp::profiler
+
+#endif  // MAPP_PROFILER_MICA_H

@@ -1,0 +1,587 @@
+#include "vision/ops.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "profiler/op_profiler.h"
+
+namespace mapp::vision::ops {
+
+PhaseBuilder::PhaseBuilder(std::string name)
+{
+    phase_.name = std::move(name);
+}
+
+PhaseBuilder&
+PhaseBuilder::insts(isa::InstClass c, InstCount n)
+{
+    phase_.mix.add(c, n);
+    return *this;
+}
+
+PhaseBuilder&
+PhaseBuilder::read(Bytes b)
+{
+    phase_.bytesRead += b;
+    return *this;
+}
+
+PhaseBuilder&
+PhaseBuilder::write(Bytes b)
+{
+    phase_.bytesWritten += b;
+    return *this;
+}
+
+PhaseBuilder&
+PhaseBuilder::foot(Bytes b)
+{
+    phase_.footprint = b;
+    return *this;
+}
+
+PhaseBuilder&
+PhaseBuilder::par(double fraction)
+{
+    phase_.parallelFraction = fraction;
+    return *this;
+}
+
+PhaseBuilder&
+PhaseBuilder::staged(bool host_staged)
+{
+    phase_.hostStaged = host_staged;
+    return *this;
+}
+
+PhaseBuilder&
+PhaseBuilder::items(std::uint64_t n)
+{
+    phase_.workItems = std::max<std::uint64_t>(n, 1);
+    return *this;
+}
+
+PhaseBuilder&
+PhaseBuilder::loc(double locality)
+{
+    phase_.locality = locality;
+    return *this;
+}
+
+PhaseBuilder&
+PhaseBuilder::div(double divergence)
+{
+    phase_.branchDivergence = divergence;
+    return *this;
+}
+
+void
+PhaseBuilder::record()
+{
+    profiler::record(std::move(phase_));
+}
+
+namespace {
+
+using isa::InstClass;
+
+/** Bytes of a float. */
+constexpr Bytes kF = sizeof(float);
+
+}  // namespace
+
+Image
+convolve2d(const Image& img, std::span<const float> kernel, int k)
+{
+    const int r = k / 2;
+    Image out(img.width(), img.height());
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            float acc = 0.0f;
+            for (int j = 0; j < k; ++j)
+                for (int i = 0; i < k; ++i)
+                    acc += img.atClamped(x + i - r, y + j - r) *
+                           kernel[static_cast<std::size_t>(j * k + i)];
+            out.at(x, y) = acc;
+        }
+    }
+
+    const auto px = static_cast<InstCount>(img.pixels());
+    const auto taps = px * static_cast<InstCount>(k) *
+                      static_cast<InstCount>(k);
+    PhaseBuilder("convolve2d")
+        .insts(InstClass::MemRead, taps)
+        .insts(InstClass::FpAlu, taps)          // scalar tail mul-adds
+        .insts(InstClass::Simd, taps / 2)       // vectorized portion
+        .insts(InstClass::MemWrite, px)
+        .insts(InstClass::IntAlu, px * 3)       // index arithmetic
+        .insts(InstClass::Control, px + taps / 8)
+        .insts(InstClass::Stack,
+               static_cast<InstCount>(img.height()) * 2)
+        .read(taps * kF)
+        .write(px * kF)
+        .foot(img.sizeBytes() + out.sizeBytes())
+        .par(0.98)
+        .items(px)
+        .loc(0.8)
+        .div(0.05)
+        .record();
+    return out;
+}
+
+Image
+gaussianBlur(const Image& img, float sigma)
+{
+    const int r = std::max(1, static_cast<int>(std::ceil(3.0f * sigma)));
+    const int k = 2 * r + 1;
+    std::vector<float> kernel(static_cast<std::size_t>(k));
+    float sum = 0.0f;
+    for (int i = 0; i < k; ++i) {
+        const float d = static_cast<float>(i - r);
+        kernel[static_cast<std::size_t>(i)] =
+            std::exp(-d * d / (2.0f * sigma * sigma));
+        sum += kernel[static_cast<std::size_t>(i)];
+    }
+    for (auto& v : kernel)
+        v /= sum;
+
+    // Horizontal then vertical pass.
+    Image tmp(img.width(), img.height());
+    for (int y = 0; y < img.height(); ++y)
+        for (int x = 0; x < img.width(); ++x) {
+            float acc = 0.0f;
+            for (int i = 0; i < k; ++i)
+                acc += img.atClamped(x + i - r, y) *
+                       kernel[static_cast<std::size_t>(i)];
+            tmp.at(x, y) = acc;
+        }
+    Image out(img.width(), img.height());
+    for (int y = 0; y < img.height(); ++y)
+        for (int x = 0; x < img.width(); ++x) {
+            float acc = 0.0f;
+            for (int i = 0; i < k; ++i)
+                acc += tmp.atClamped(x, y + i - r) *
+                       kernel[static_cast<std::size_t>(i)];
+            out.at(x, y) = acc;
+        }
+
+    const auto px = static_cast<InstCount>(img.pixels());
+    const auto taps = 2 * px * static_cast<InstCount>(k);
+    PhaseBuilder("gaussian_blur")
+        .insts(InstClass::MemRead, taps)
+        .insts(InstClass::FpAlu, taps)
+        .insts(InstClass::Simd, taps * 3 / 4)  // separable filters vectorize
+        .insts(InstClass::MemWrite, 2 * px)
+        .insts(InstClass::IntAlu, 2 * px * 2)
+        .insts(InstClass::Control, 2 * px + taps / 8)
+        .insts(InstClass::Stack, static_cast<InstCount>(img.height()) * 4)
+        .read(taps * kF)
+        .write(2 * px * kF)
+        .foot(img.sizeBytes() * 3)
+        .par(0.98)
+        .items(px)
+        .loc(0.85)
+        .div(0.03)
+        .record();
+    return out;
+}
+
+void
+sobel(const Image& img, Image& gx, Image& gy)
+{
+    gx = Image(img.width(), img.height());
+    gy = Image(img.width(), img.height());
+    for (int y = 0; y < img.height(); ++y) {
+        for (int x = 0; x < img.width(); ++x) {
+            const float tl = img.atClamped(x - 1, y - 1);
+            const float t = img.atClamped(x, y - 1);
+            const float tr = img.atClamped(x + 1, y - 1);
+            const float l = img.atClamped(x - 1, y);
+            const float r = img.atClamped(x + 1, y);
+            const float bl = img.atClamped(x - 1, y + 1);
+            const float b = img.atClamped(x, y + 1);
+            const float br = img.atClamped(x + 1, y + 1);
+            gx.at(x, y) = (tr + 2 * r + br) - (tl + 2 * l + bl);
+            gy.at(x, y) = (bl + 2 * b + br) - (tl + 2 * t + tr);
+        }
+    }
+    const auto px = static_cast<InstCount>(img.pixels());
+    PhaseBuilder("sobel")
+        .insts(InstClass::MemRead, px * 8)
+        .insts(InstClass::FpAlu, px * 10)
+        .insts(InstClass::Simd, px * 4)
+        .insts(InstClass::MemWrite, px * 2)
+        .insts(InstClass::IntAlu, px * 3)
+        .insts(InstClass::Control, px)
+        .read(px * 8 * kF)
+        .write(px * 2 * kF)
+        .foot(img.sizeBytes() * 3)
+        .par(0.98)
+        .items(px)
+        .loc(0.9)
+        .div(0.03)
+        .record();
+}
+
+void
+gradientPolar(const Image& gx, const Image& gy, Image& mag, Image& orient)
+{
+    mag = Image(gx.width(), gx.height());
+    orient = Image(gx.width(), gx.height());
+    for (int y = 0; y < gx.height(); ++y) {
+        for (int x = 0; x < gx.width(); ++x) {
+            const float dx = gx.at(x, y);
+            const float dy = gy.at(x, y);
+            mag.at(x, y) = std::sqrt(dx * dx + dy * dy);
+            orient.at(x, y) = std::atan2(dy, dx);
+        }
+    }
+    const auto px = static_cast<InstCount>(gx.pixels());
+    PhaseBuilder("gradient_polar")
+        .insts(InstClass::MemRead, px * 2)
+        .insts(InstClass::FpAlu, px * 14)  // sqrt + atan2 expansions
+        .insts(InstClass::MemWrite, px * 2)
+        .insts(InstClass::IntAlu, px * 2)
+        .insts(InstClass::Control, px)
+        .read(px * 2 * kF)
+        .write(px * 2 * kF)
+        .foot(gx.sizeBytes() * 4)
+        .par(0.98)
+        .items(px)
+        .loc(0.9)
+        .div(0.02)
+        .record();
+}
+
+Image
+downsample2x(const Image& img)
+{
+    const int w = std::max(img.width() / 2, 1);
+    const int h = std::max(img.height() / 2, 1);
+    Image out(w, h);
+    for (int y = 0; y < h; ++y)
+        for (int x = 0; x < w; ++x)
+            out.at(x, y) =
+                (img.atClamped(2 * x, 2 * y) +
+                 img.atClamped(2 * x + 1, 2 * y) +
+                 img.atClamped(2 * x, 2 * y + 1) +
+                 img.atClamped(2 * x + 1, 2 * y + 1)) * 0.25f;
+
+    const auto px = static_cast<InstCount>(out.pixels());
+    PhaseBuilder("downsample2x")
+        .insts(InstClass::MemRead, px * 4)
+        .insts(InstClass::FpAlu, px * 4)
+        .insts(InstClass::Simd, px)
+        .insts(InstClass::MemWrite, px)
+        .insts(InstClass::IntAlu, px * 4)
+        .insts(InstClass::Shift, px * 2)  // index doubling
+        .insts(InstClass::Control, px)
+        .read(px * 4 * kF)
+        .write(px * kF)
+        .foot(img.sizeBytes() + out.sizeBytes())
+        .par(0.98)
+        .items(px)
+        .loc(0.7)
+        .div(0.02)
+        .record();
+    return out;
+}
+
+Image
+resizeBilinear(const Image& img, int w, int h)
+{
+    Image out(w, h);
+    const float sx =
+        static_cast<float>(img.width()) / static_cast<float>(w);
+    const float sy =
+        static_cast<float>(img.height()) / static_cast<float>(h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            const float fx = (static_cast<float>(x) + 0.5f) * sx - 0.5f;
+            const float fy = (static_cast<float>(y) + 0.5f) * sy - 0.5f;
+            const int x0 = static_cast<int>(std::floor(fx));
+            const int y0 = static_cast<int>(std::floor(fy));
+            const float ax = fx - static_cast<float>(x0);
+            const float ay = fy - static_cast<float>(y0);
+            const float top = img.atClamped(x0, y0) * (1 - ax) +
+                              img.atClamped(x0 + 1, y0) * ax;
+            const float bot = img.atClamped(x0, y0 + 1) * (1 - ax) +
+                              img.atClamped(x0 + 1, y0 + 1) * ax;
+            out.at(x, y) = top * (1 - ay) + bot * ay;
+        }
+    }
+    const auto px = static_cast<InstCount>(out.pixels());
+    PhaseBuilder("resize_bilinear")
+        .insts(InstClass::MemRead, px * 4)
+        .insts(InstClass::FpAlu, px * 10)
+        .insts(InstClass::MemWrite, px)
+        .insts(InstClass::IntAlu, px * 6)
+        .insts(InstClass::Control, px)
+        .read(px * 4 * kF)
+        .write(px * kF)
+        .foot(img.sizeBytes() + out.sizeBytes())
+        .par(0.98)
+        .items(px)
+        .loc(0.6)
+        .div(0.05)
+        .record();
+    return out;
+}
+
+IntegralImage
+integral(const Image& img)
+{
+    IntegralImage ii(img);
+    const auto px = static_cast<InstCount>(img.pixels());
+    PhaseBuilder("integral_image")
+        .insts(InstClass::MemRead, px * 2)
+        .insts(InstClass::MemWrite, px)
+        .insts(InstClass::IntAlu, px * 3)
+        .insts(InstClass::FpAlu, px)
+        .insts(InstClass::Control, px)
+        .insts(InstClass::Stack, static_cast<InstCount>(img.height()))
+        .read(px * 2 * kF)
+        .write(px * static_cast<Bytes>(sizeof(double)))
+        .foot(img.sizeBytes() + ii.sizeBytes())
+        .par(0.6)  // prefix sums parallelize imperfectly
+        .items(px)
+        .loc(0.9)
+        .div(0.02)
+        .record();
+    return ii;
+}
+
+std::vector<double>
+histogram(std::span<const float> values, int bins, float lo, float hi)
+{
+    std::vector<double> out(static_cast<std::size_t>(bins), 0.0);
+    const float width = (hi - lo) / static_cast<float>(bins);
+    for (float v : values) {
+        int b = static_cast<int>((v - lo) / width);
+        b = std::clamp(b, 0, bins - 1);
+        out[static_cast<std::size_t>(b)] += 1.0;
+    }
+    const auto n = static_cast<InstCount>(values.size());
+    PhaseBuilder("histogram")
+        .insts(InstClass::MemRead, n * 2)
+        .insts(InstClass::MemWrite, n)
+        .insts(InstClass::IntAlu, n * 3)
+        .insts(InstClass::FpAlu, n * 2)
+        .insts(InstClass::Control, n * 2)
+        .read(n * kF)
+        .write(n * static_cast<Bytes>(sizeof(double)) / 4)
+        .foot(static_cast<Bytes>(values.size()) * kF)
+        .par(0.7)  // bin updates contend
+        .items(n)
+        .loc(0.95)
+        .div(0.3)
+        .record();
+    return out;
+}
+
+std::vector<std::pair<int, int>>
+nonMaxSuppress(const Image& response, float threshold, int radius)
+{
+    std::vector<std::pair<int, int>> maxima;
+    InstCount comparisons = 0;
+    for (int y = 0; y < response.height(); ++y) {
+        for (int x = 0; x < response.width(); ++x) {
+            const float v = response.at(x, y);
+            ++comparisons;
+            if (v <= threshold)
+                continue;
+            bool isMax = true;
+            for (int j = -radius; j <= radius && isMax; ++j) {
+                for (int i = -radius; i <= radius; ++i) {
+                    if (i == 0 && j == 0)
+                        continue;
+                    ++comparisons;
+                    if (response.atClamped(x + i, y + j) > v) {
+                        isMax = false;
+                        break;
+                    }
+                }
+            }
+            if (isMax)
+                maxima.emplace_back(x, y);
+        }
+    }
+    const auto px = static_cast<InstCount>(response.pixels());
+    PhaseBuilder("non_max_suppress")
+        .insts(InstClass::MemRead, comparisons)
+        .insts(InstClass::FpAlu, comparisons)
+        .insts(InstClass::Control, comparisons + px)
+        .insts(InstClass::IntAlu, px * 2)
+        .insts(InstClass::MemWrite,
+               static_cast<InstCount>(maxima.size()) * 2)
+        .read(comparisons * kF)
+        .write(static_cast<Bytes>(maxima.size()) * 2 *
+               static_cast<Bytes>(sizeof(int)))
+        .foot(response.sizeBytes())
+        .par(0.95)
+        .items(px)
+        .loc(0.85)
+        .div(0.6)  // data-dependent rejection
+        .record();
+    return maxima;
+}
+
+double
+dot(std::span<const float> a, std::span<const float> b)
+{
+    const std::size_t n = std::min(a.size(), b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        acc += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+
+    const auto in = static_cast<InstCount>(n);
+    PhaseBuilder("dot")
+        .insts(InstClass::MemRead, in * 2)
+        .insts(InstClass::Simd, in * 3 / 2)  // fused multiply-add lanes
+        .insts(InstClass::FpAlu, in / 4)
+        .insts(InstClass::IntAlu, in / 4)
+        .insts(InstClass::Control, in / 8 + 1)
+        .read(in * 2 * kF)
+        .foot(static_cast<Bytes>(n) * 2 * kF)
+        .par(0.9)
+        .items(in)
+        .loc(0.5)
+        .div(0.02)
+        .record();
+    return acc;
+}
+
+std::vector<double>
+distanceMatrix(const std::vector<Descriptor>& a,
+               const std::vector<Descriptor>& b)
+{
+    const std::size_t dim = a.empty() ? 0 : a.front().size();
+    std::vector<double> out(a.size() * b.size(), 0.0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        for (std::size_t j = 0; j < b.size(); ++j) {
+            double acc = 0.0;
+            for (std::size_t d = 0; d < dim; ++d) {
+                const double diff = static_cast<double>(a[i][d]) -
+                                    static_cast<double>(b[j][d]);
+                acc += diff * diff;
+            }
+            out[i * b.size() + j] = acc;
+        }
+    }
+    const auto ops = static_cast<InstCount>(a.size()) *
+                     static_cast<InstCount>(b.size()) *
+                     static_cast<InstCount>(std::max<std::size_t>(dim, 1));
+    const auto pairs = static_cast<InstCount>(a.size()) *
+                       static_cast<InstCount>(b.size());
+    PhaseBuilder("distance_matrix")
+        .insts(InstClass::MemRead, ops * 2)
+        .insts(InstClass::Simd, ops * 2)
+        .insts(InstClass::FpAlu, ops / 2)
+        .insts(InstClass::MemWrite, pairs)
+        .insts(InstClass::IntAlu, pairs * 2)
+        .insts(InstClass::Control, pairs + ops / 8)
+        .read(ops * 2 * kF)
+        .write(pairs * static_cast<Bytes>(sizeof(double)))
+        .foot((static_cast<Bytes>(a.size()) + static_cast<Bytes>(b.size())) *
+                  static_cast<Bytes>(dim) * kF +
+              static_cast<Bytes>(out.size()) *
+                  static_cast<Bytes>(sizeof(double)))
+        .par(0.97)
+        .items(pairs)
+        .loc(0.3)  // streaming through both sets
+        .div(0.02)
+        .record();
+    return out;
+}
+
+std::vector<int>
+topKSmallest(std::span<const double> values, int k)
+{
+    std::vector<int> idx;
+    std::vector<bool> used(values.size(), false);
+    InstCount scans = 0;
+    for (int sel = 0; sel < k && sel < static_cast<int>(values.size());
+         ++sel) {
+        double best = std::numeric_limits<double>::infinity();
+        int bestIdx = -1;
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            ++scans;
+            if (!used[i] && values[i] < best) {
+                best = values[i];
+                bestIdx = static_cast<int>(i);
+            }
+        }
+        if (bestIdx < 0)
+            break;
+        used[static_cast<std::size_t>(bestIdx)] = true;
+        idx.push_back(bestIdx);
+    }
+    PhaseBuilder("top_k_select")
+        .insts(InstClass::MemRead, scans)
+        .insts(InstClass::FpAlu, scans)
+        .insts(InstClass::Control, scans * 2)
+        .insts(InstClass::IntAlu, scans)
+        .insts(InstClass::MemWrite, static_cast<InstCount>(idx.size()))
+        .read(scans * static_cast<Bytes>(sizeof(double)))
+        .foot(static_cast<Bytes>(values.size()) *
+              static_cast<Bytes>(sizeof(double)))
+        .par(0.8)
+        .items(static_cast<std::uint64_t>(values.size()))
+        .loc(0.7)
+        .div(0.5)
+        .record();
+    return idx;
+}
+
+int
+hammingDistance(const BinaryDescriptor& a, const BinaryDescriptor& b)
+{
+    const std::size_t n = std::min(a.size(), b.size());
+    int dist = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        dist += std::popcount(
+            static_cast<unsigned>(a[i] ^ b[i]));
+
+    const auto in = static_cast<InstCount>(n);
+    PhaseBuilder("hamming")
+        .insts(InstClass::MemRead, in * 2)
+        .insts(InstClass::IntAlu, in * 2)
+        .insts(InstClass::Shift, in)
+        .insts(InstClass::Control, in / 4 + 1)
+        .read(in * 2)
+        .foot(static_cast<Bytes>(n) * 2)
+        .par(0.9)
+        .items(in)
+        .loc(0.6)
+        .div(0.05)
+        .record();
+    return dist;
+}
+
+Image
+copyImage(const Image& img)
+{
+    Image out = img;
+    const auto px = static_cast<InstCount>(img.pixels());
+    PhaseBuilder("image_copy")
+        .insts(InstClass::String, px / 4)  // rep-movs style copy
+        .insts(InstClass::MemRead, px / 8)
+        .insts(InstClass::MemWrite, px / 8)
+        .insts(InstClass::Stack, 8)
+        .insts(InstClass::IntAlu, px / 16 + 1)
+        .insts(InstClass::Control, px / 64 + 1)
+        .read(img.sizeBytes())
+        .write(img.sizeBytes())
+        .foot(img.sizeBytes() * 2)
+        .par(0.5)
+        .items(px)
+        .loc(0.2)
+        .div(0.01)
+        .staged()
+        .record();
+    return out;
+}
+
+}  // namespace mapp::vision::ops

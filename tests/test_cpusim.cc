@@ -1,0 +1,264 @@
+/** @file Unit tests for the CPU cache/memory/core models and the
+ * multicore co-run simulator. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "cpusim/cache_model.h"
+#include "cpusim/core_model.h"
+#include "cpusim/memory_model.h"
+#include "cpusim/multicore_sim.h"
+
+namespace {
+
+using namespace mapp;
+using namespace mapp::cpusim;
+
+isa::KernelPhase
+computePhase(InstCount insts = 1'000'000, double parallel = 0.95)
+{
+    isa::KernelPhase p;
+    p.name = "compute";
+    p.mix.add(isa::InstClass::IntAlu, insts / 2);
+    p.mix.add(isa::InstClass::FpAlu, insts / 4);
+    p.mix.add(isa::InstClass::Control, insts / 4);
+    p.footprint = 64 * 1024;
+    p.locality = 0.9;
+    p.parallelFraction = parallel;
+    p.workItems = 10000;
+    return p;
+}
+
+isa::KernelPhase
+memoryPhase(InstCount insts = 1'000'000)
+{
+    isa::KernelPhase p;
+    p.name = "memory";
+    p.mix.add(isa::InstClass::MemRead, insts / 2);
+    p.mix.add(isa::InstClass::MemWrite, insts / 4);
+    p.mix.add(isa::InstClass::IntAlu, insts / 4);
+    p.bytesRead = insts * 4;
+    p.bytesWritten = insts;
+    p.footprint = 64ull << 20;  // larger than any LLC share
+    p.locality = 0.05;
+    p.parallelFraction = 0.95;
+    p.workItems = 10000;
+    return p;
+}
+
+TEST(CacheModel, FitsInCacheMeansFewMisses)
+{
+    const double miss = llcMissRate(32_KiB, 16ull << 20, 0.5);
+    EXPECT_LT(miss, 0.05);
+}
+
+TEST(CacheModel, OverCapacityStreamsMiss)
+{
+    const double miss = llcMissRate(1_GiB, 1ull << 20, 0.0);
+    EXPECT_GT(miss, 0.6);
+}
+
+TEST(CacheModel, LocalityShieldsFromPressure)
+{
+    const Bytes foot = 8ull << 20;
+    const Bytes share = 4ull << 20;
+    EXPECT_LT(llcMissRate(foot, share, 0.9),
+              llcMissRate(foot, share, 0.1));
+}
+
+TEST(CacheModel, MonotoneInShare)
+{
+    const Bytes foot = 8ull << 20;
+    EXPECT_GE(llcMissRate(foot, 1ull << 20, 0.5),
+              llcMissRate(foot, 16ull << 20, 0.5));
+}
+
+TEST(CacheModel, ZeroShareIsWorstCase)
+{
+    CacheModelParams params;
+    EXPECT_DOUBLE_EQ(llcMissRate(1024, 0, 0.5), params.maxMissRate);
+}
+
+TEST(MemoryModel, WrapsCommonSharing)
+{
+    const auto g = shareBandwidth({50.0, 50.0}, 60.0);
+    EXPECT_DOUBLE_EQ(g[0], 30.0);
+    EXPECT_GT(queueingFactor(0.9), queueingFactor(0.1));
+}
+
+TEST(CoreModel, EffectiveParallelismBasics)
+{
+    CpuConfig cfg;
+    // One thread -> 1.
+    EXPECT_DOUBLE_EQ(effectiveParallelism(1, 48, cfg), 1.0);
+    // Threads up to the physical core count scale linearly.
+    EXPECT_DOUBLE_EQ(effectiveParallelism(24, 48, cfg), 24.0);
+    // SMT siblings add smtYield each.
+    EXPECT_NEAR(effectiveParallelism(48, 48, cfg),
+                24.0 + 24.0 * cfg.smtYield, 1e-9);
+}
+
+TEST(CoreModel, OversubscriptionDoesNotHelp)
+{
+    CpuConfig cfg;
+    const double at = effectiveParallelism(48, 48, cfg);
+    const double over = effectiveParallelism(96, 48, cfg);
+    EXPECT_LT(over, at);
+}
+
+TEST(CoreModel, MoreThreadsFasterForParallelPhase)
+{
+    CpuConfig cfg;
+    CpuAllocation a1{.threads = 1, .logicalCores = 48,
+                     .llcShare = cfg.llcSize,
+                     .bandwidthShare = cfg.memBandwidth};
+    CpuAllocation a8 = a1;
+    a8.threads = 8;
+    const auto p = computePhase();
+    EXPECT_GT(timePhase(p, a1, cfg).time, timePhase(p, a8, cfg).time);
+}
+
+TEST(CoreModel, SerialPhaseGainsNothingFromThreads)
+{
+    CpuConfig cfg;
+    auto p = computePhase();
+    p.parallelFraction = 0.0;
+    CpuAllocation a1{.threads = 1, .logicalCores = 48,
+                     .llcShare = cfg.llcSize,
+                     .bandwidthShare = cfg.memBandwidth};
+    CpuAllocation a8 = a1;
+    a8.threads = 8;
+    // Extra threads only add fork/join overhead on a serial phase.
+    const auto t1 = timePhase(p, a1, cfg).time;
+    const auto t8 = timePhase(p, a8, cfg).time;
+    EXPECT_GE(t8, t1);
+    EXPECT_NEAR(t8, t1, t1 * 0.1);
+}
+
+TEST(CoreModel, DivergenceAddsBranchStalls)
+{
+    CpuConfig cfg;
+    CpuAllocation a{.threads = 1, .logicalCores = 48,
+                    .llcShare = cfg.llcSize,
+                    .bandwidthShare = cfg.memBandwidth};
+    auto p = computePhase();
+    p.branchDivergence = 0.0;
+    const auto low = timePhase(p, a, cfg);
+    p.branchDivergence = 0.9;
+    const auto high = timePhase(p, a, cfg);
+    EXPECT_GT(high.branchCycles, low.branchCycles);
+    EXPECT_GT(high.time, low.time);
+}
+
+TEST(CoreModel, MemoryPhaseBandwidthBound)
+{
+    CpuConfig cfg;
+    CpuAllocation a{.threads = 24, .logicalCores = 48,
+                    .llcShare = cfg.llcSize,
+                    .bandwidthShare = 1e9};  // starved bandwidth
+    const auto t = timePhase(memoryPhase(), a, cfg);
+    EXPECT_GT(t.bandwidthTime, 0.0);
+    EXPECT_GE(t.time, t.bandwidthTime);
+}
+
+TEST(CoreModel, BandwidthDemandPositiveForMemoryPhase)
+{
+    CpuConfig cfg;
+    CpuAllocation a{.threads = 8, .logicalCores = 48,
+                    .llcShare = 1ull << 20,
+                    .bandwidthShare = cfg.memBandwidth};
+    EXPECT_GT(phaseBandwidthDemand(memoryPhase(), a, cfg), 0.0);
+}
+
+TEST(MulticoreSim, AloneRunProducesTimeAndIpc)
+{
+    MulticoreSim sim;
+    isa::WorkloadTrace t("A", 1);
+    t.append(computePhase());
+    const auto r = sim.runAlone(t, 8);
+    EXPECT_GT(r.time, 0.0);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_EQ(r.instructions, t.totalInstructions());
+}
+
+TEST(MulticoreSim, SharedSlowerThanAlone)
+{
+    MulticoreSim sim;
+    isa::WorkloadTrace t("A", 1);
+    t.append(memoryPhase());
+    t.append(computePhase());
+    const auto alone = sim.runAlone(t, 48);
+    const auto shared = sim.runShared({&t, &t}, {48, 48});
+    EXPECT_GT(shared.apps[0].time, alone.time);
+    // Homogeneous co-runners finish together.
+    EXPECT_NEAR(shared.apps[0].time, shared.apps[1].time,
+                shared.apps[0].time * 1e-9);
+}
+
+TEST(MulticoreSim, HomogeneousSlowdownBounded)
+{
+    // Two instances on a big machine should be less than 4x slower.
+    MulticoreSim sim;
+    isa::WorkloadTrace t("A", 1);
+    t.append(computePhase());
+    const auto alone = sim.runAlone(t, 24);
+    const auto shared = sim.runShared({&t, &t}, {24, 24});
+    EXPECT_LT(shared.makespan, alone.time * 4.0);
+}
+
+TEST(MulticoreSim, MakespanIsMaxOfApps)
+{
+    MulticoreSim sim;
+    isa::WorkloadTrace small("S", 1);
+    small.append(computePhase(100'000));
+    isa::WorkloadTrace big("B", 1);
+    big.append(computePhase(10'000'000));
+    const auto bag = sim.runShared({&small, &big}, {8, 8});
+    EXPECT_NEAR(bag.makespan,
+                std::max(bag.apps[0].time, bag.apps[1].time), 1e-15);
+    EXPECT_LT(bag.apps[0].time, bag.apps[1].time);
+}
+
+TEST(MulticoreSim, EmptyBagIsFatal)
+{
+    MulticoreSim sim;
+    EXPECT_THROW(sim.runShared({}, {}), FatalError);
+}
+
+TEST(MulticoreSim, MismatchedThreadsIsFatal)
+{
+    MulticoreSim sim;
+    isa::WorkloadTrace t("A", 1);
+    t.append(computePhase());
+    EXPECT_THROW(sim.runShared({&t}, {1, 2}), FatalError);
+}
+
+TEST(MulticoreSim, BestThreadCountPrefersParallelism)
+{
+    MulticoreSim sim;
+    isa::WorkloadTrace parallel("P", 1);
+    parallel.append(computePhase(10'000'000, 0.99));
+    EXPECT_GE(sim.bestThreadCount(parallel), 16);
+
+    isa::WorkloadTrace serial("S", 1);
+    serial.append(computePhase(10'000'000, 0.05));
+    // A 5%-parallel workload saturates quickly; the team must stay far
+    // below the fully-parallel one's.
+    EXPECT_LE(sim.bestThreadCount(serial), 16);
+    EXPECT_LT(sim.bestThreadCount(serial),
+              sim.bestThreadCount(parallel));
+}
+
+TEST(MulticoreSim, IpcRatioEqualsInverseTimeRatio)
+{
+    MulticoreSim sim;
+    isa::WorkloadTrace t("A", 1);
+    t.append(memoryPhase());
+    const auto alone = sim.runAlone(t, 24);
+    const auto shared = sim.runShared({&t, &t}, {24, 24});
+    const double slow = shared.apps[0].ipc / alone.ipc;
+    EXPECT_NEAR(slow, alone.time / shared.apps[0].time, 1e-9);
+    EXPECT_LE(slow, 1.0 + 1e-9);
+}
+
+}  // namespace

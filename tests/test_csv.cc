@@ -1,0 +1,117 @@
+/** @file Unit tests for CSV parsing and writing. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/csv.h"
+
+namespace {
+
+using namespace mapp;
+
+TEST(Csv, ParseSimpleTable)
+{
+    const auto t = parseCsv("a,b,c\n1,2,3\n4,5,6\n");
+    ASSERT_EQ(t.header.size(), 3u);
+    EXPECT_EQ(t.header[0], "a");
+    ASSERT_EQ(t.rows.size(), 2u);
+    EXPECT_EQ(t.rows[1][2], "6");
+}
+
+TEST(Csv, ParseQuotedCells)
+{
+    const auto t = parseCsv("name,desc\nx,\"hello, world\"\n");
+    ASSERT_EQ(t.rows.size(), 1u);
+    EXPECT_EQ(t.rows[0][1], "hello, world");
+}
+
+TEST(Csv, ParseEscapedQuotes)
+{
+    const auto t = parseCsv("a\n\"he said \"\"hi\"\"\"\n");
+    ASSERT_EQ(t.rows.size(), 1u);
+    EXPECT_EQ(t.rows[0][0], "he said \"hi\"");
+}
+
+TEST(Csv, ParseEmbeddedNewline)
+{
+    const auto t = parseCsv("a,b\n\"line1\nline2\",x\n");
+    ASSERT_EQ(t.rows.size(), 1u);
+    EXPECT_EQ(t.rows[0][0], "line1\nline2");
+}
+
+TEST(Csv, ParseCrLf)
+{
+    const auto t = parseCsv("a,b\r\n1,2\r\n");
+    ASSERT_EQ(t.rows.size(), 1u);
+    EXPECT_EQ(t.rows[0][1], "2");
+}
+
+TEST(Csv, ParseEmptyText)
+{
+    const auto t = parseCsv("");
+    EXPECT_TRUE(t.header.empty());
+    EXPECT_TRUE(t.rows.empty());
+}
+
+TEST(Csv, EscapePlainCellUnchanged)
+{
+    EXPECT_EQ(csvEscape("hello"), "hello");
+}
+
+TEST(Csv, EscapeCommaAndQuote)
+{
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, RoundTripThroughWriter)
+{
+    CsvTable t;
+    t.header = {"x", "label"};
+    t.rows = {{"1.5", "alpha,beta"}, {"2.5", "plain"}};
+    const std::string text = toCsv(t);
+    const auto back = parseCsv(text);
+    EXPECT_EQ(back.header, t.header);
+    EXPECT_EQ(back.rows, t.rows);
+}
+
+TEST(Csv, NumericColumnParses)
+{
+    const auto t = parseCsv("x,y\n1.5,a\n2.5,b\n");
+    const auto xs = t.numericColumn("x");
+    ASSERT_EQ(xs.size(), 2u);
+    EXPECT_DOUBLE_EQ(xs[0], 1.5);
+    EXPECT_DOUBLE_EQ(xs[1], 2.5);
+}
+
+TEST(Csv, NumericColumnMissingThrows)
+{
+    const auto t = parseCsv("x\n1\n");
+    EXPECT_THROW(t.numericColumn("nope"), std::runtime_error);
+}
+
+TEST(Csv, ColumnIndexLookup)
+{
+    const auto t = parseCsv("a,b\n1,2\n");
+    EXPECT_EQ(t.columnIndex("b"), 1);
+    EXPECT_EQ(t.columnIndex("z"), -1);
+}
+
+TEST(Csv, WriterNumericRowFullPrecision)
+{
+    std::ostringstream os;
+    CsvWriter w(os);
+    w.writeHeader({"v"});
+    w.writeNumericRow({0.1234567890123456});
+    const auto t = parseCsv(os.str());
+    EXPECT_NEAR(t.numericColumn("v")[0], 0.1234567890123456, 1e-16);
+}
+
+TEST(Csv, ReadCsvFileMissingThrows)
+{
+    EXPECT_THROW(readCsvFile("/nonexistent/path.csv"), std::runtime_error);
+}
+
+}  // namespace

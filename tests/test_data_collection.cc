@@ -1,0 +1,193 @@
+/** @file Tests for bag specs, the measurement pipeline and the campaign. */
+
+#include <gtest/gtest.h>
+
+#include "predictor/data_collection.h"
+
+namespace {
+
+using namespace mapp;
+using namespace mapp::predictor;
+using vision::BenchmarkId;
+
+TEST(BagSpec, CanonicalOrdersMembers)
+{
+    const BagSpec spec{{BenchmarkId::Sift, 20}, {BenchmarkId::Fast, 40}};
+    const BagSpec canon = spec.canonical();
+    EXPECT_EQ(canon.a.id, BenchmarkId::Fast);
+    EXPECT_EQ(canon.b.id, BenchmarkId::Sift);
+}
+
+TEST(BagSpec, CanonicalOrdersByBatchWithinBenchmark)
+{
+    const BagSpec spec{{BenchmarkId::Hog, 80}, {BenchmarkId::Hog, 20}};
+    const BagSpec canon = spec.canonical();
+    EXPECT_EQ(canon.a.batchSize, 20);
+    EXPECT_EQ(canon.b.batchSize, 80);
+}
+
+TEST(BagSpec, Labels)
+{
+    const BagSpec spec{{BenchmarkId::Fast, 20}, {BenchmarkId::Svm, 40}};
+    EXPECT_EQ(spec.label(), "FAST@20+SVM@40");
+    EXPECT_EQ(spec.groupLabel(), "FAST+SVM");
+    EXPECT_FALSE(spec.homogeneous());
+    const BagSpec homo{{BenchmarkId::Fast, 20}, {BenchmarkId::Fast, 20}};
+    EXPECT_TRUE(homo.homogeneous());
+}
+
+TEST(Campaign, Has91RunsLikeThePaper)
+{
+    const auto specs = DataCollector::campaign91();
+    EXPECT_EQ(specs.size(), 91u);
+
+    std::size_t homo = 0;
+    std::size_t heteroStd = 0;
+    std::size_t heteroMixed = 0;
+    for (const auto& spec : specs) {
+        if (spec.homogeneous())
+            ++homo;
+        else if (spec.a.batchSize == 20 && spec.b.batchSize == 20)
+            ++heteroStd;
+        else
+            ++heteroMixed;
+    }
+    EXPECT_EQ(homo, 45u);       // 9 benchmarks x 5 batch sizes
+    EXPECT_EQ(heteroStd, 36u);  // C(9, 2) pairs
+    EXPECT_EQ(heteroMixed, 10u);
+}
+
+TEST(Campaign, HomogeneousBagsCoverAllBatchSizes)
+{
+    const auto specs = DataCollector::campaign91();
+    for (vision::BenchmarkId id : vision::kAllBenchmarks) {
+        for (int batch : vision::kBatchSizes) {
+            const bool found =
+                std::any_of(specs.begin(), specs.end(),
+                            [&](const BagSpec& s) {
+                                return s.homogeneous() && s.a.id == id &&
+                                       s.a.batchSize == batch;
+                            });
+            EXPECT_TRUE(found)
+                << vision::benchmarkName(id) << "@" << batch;
+        }
+    }
+}
+
+class CollectorTest : public ::testing::Test
+{
+  protected:
+    // One shared collector: per-app measurements are memoized across
+    // the tests in this suite.
+    static DataCollector& collector()
+    {
+        static DataCollector instance;
+        return instance;
+    }
+};
+
+TEST_F(CollectorTest, AppFeaturesArePlausible)
+{
+    const BagMember m{BenchmarkId::Hog, 20};
+    const auto& f = collector().appFeatures(m);
+    EXPECT_EQ(f.app, "HoG");
+    EXPECT_EQ(f.batchSize, 20);
+    EXPECT_GT(f.cpuTime, 0.0);
+    EXPECT_GT(f.gpuTime, 0.0);
+    double mixSum = 0.0;
+    for (double p : f.mixPercent)
+        mixSum += p;
+    EXPECT_NEAR(mixSum, 100.0, 1e-6);
+}
+
+TEST_F(CollectorTest, AppFeaturesMemoized)
+{
+    const BagMember m{BenchmarkId::Hog, 20};
+    const auto& a = collector().appFeatures(m);
+    const auto& b = collector().appFeatures(m);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST_F(CollectorTest, HomogeneousBagFairnessIsOne)
+{
+    const BagMember m{BenchmarkId::Fast, 20};
+    const auto point = collector().collect(BagSpec{m, m});
+    EXPECT_NEAR(point.fairness, 1.0, 1e-9);
+    EXPECT_GT(point.gpuBagTime, 0.0);
+}
+
+TEST_F(CollectorTest, BagGpuTimeExceedsSingleInstance)
+{
+    const BagMember m{BenchmarkId::Surf, 20};
+    const auto point = collector().collect(BagSpec{m, m});
+    const auto& f = collector().appFeatures(m);
+    EXPECT_GT(point.gpuBagTime, f.gpuTime);
+}
+
+TEST_F(CollectorTest, HeterogeneousFairnessAtMostOne)
+{
+    const BagSpec spec{{BenchmarkId::Fast, 20}, {BenchmarkId::Sift, 20}};
+    const auto point = collector().collect(spec);
+    EXPECT_GT(point.fairness, 0.0);
+    EXPECT_LE(point.fairness, 1.0 + 1e-9);
+}
+
+TEST_F(CollectorTest, CollectCanonicalizesSpec)
+{
+    const BagSpec spec{{BenchmarkId::Sift, 20}, {BenchmarkId::Fast, 20}};
+    const auto point = collector().collect(spec);
+    EXPECT_EQ(point.spec.a.id, BenchmarkId::Fast);
+    EXPECT_EQ(point.a.app, "FAST");
+    EXPECT_EQ(point.b.app, "SIFT");
+}
+
+TEST_F(CollectorTest, ScalingSeriesAreOrdered)
+{
+    const BagMember m{BenchmarkId::Hog, 20};
+    const auto gpu = collector().gpuHomogeneousScaling(m, 3);
+    ASSERT_EQ(gpu.size(), 3u);
+    // GPU makespan grows with instance count (Fig. 2's degradation).
+    EXPECT_LT(gpu[0], gpu[1]);
+    EXPECT_LT(gpu[1], gpu[2]);
+
+    const auto cpu = collector().cpuHomogeneousScaling(m, 3);
+    ASSERT_EQ(cpu.size(), 3u);
+    EXPECT_LE(cpu[0], cpu[1]);
+}
+
+TEST_F(CollectorTest, DatasetAssembly)
+{
+    std::vector<DataPoint> points;
+    points.push_back(collector().collect(
+        BagSpec{{BenchmarkId::Fast, 20}, {BenchmarkId::Fast, 20}}));
+    points.push_back(collector().collect(
+        BagSpec{{BenchmarkId::Fast, 20}, {BenchmarkId::Hog, 20}}));
+    const auto data = toDataset(points);
+    EXPECT_EQ(data.size(), 2u);
+    EXPECT_EQ(data.numFeatures(), bagFeatureNames().size());
+    EXPECT_EQ(data.group(0), "FAST+FAST");
+    EXPECT_EQ(data.group(1), "FAST+HoG");
+    EXPECT_DOUBLE_EQ(data.target(0), points[0].gpuBagTime);
+}
+
+TEST_F(CollectorTest, SplitOutBenchmarkMatchesTokens)
+{
+    std::vector<DataPoint> points;
+    points.push_back(collector().collect(
+        BagSpec{{BenchmarkId::Fast, 20}, {BenchmarkId::Fast, 20}}));
+    points.push_back(collector().collect(
+        BagSpec{{BenchmarkId::Fast, 20}, {BenchmarkId::Hog, 20}}));
+    points.push_back(collector().collect(
+        BagSpec{{BenchmarkId::Hog, 20}, {BenchmarkId::Hog, 20}}));
+    const auto data = toDataset(points);
+
+    auto [train, test] = splitOutBenchmark(data, "FAST");
+    EXPECT_EQ(test.size(), 2u);   // both bags containing FAST
+    EXPECT_EQ(train.size(), 1u);  // HoG+HoG only
+
+    // Token matching must not confuse substrings.
+    auto [train2, test2] = splitOutBenchmark(data, "FA");
+    EXPECT_EQ(test2.size(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+/** @file Functional tests for FAST, ORB, SIFT and SURF detectors. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "profiler/op_profiler.h"
+#include "vision/fast.h"
+#include "vision/image.h"
+#include "vision/orb.h"
+#include "vision/sift.h"
+#include "vision/surf.h"
+
+namespace {
+
+using namespace mapp;
+using namespace mapp::vision;
+
+/** A flat background with a single bright square: four sharp corners. */
+Image
+squareImage(int size = 48)
+{
+    Image img(size, size, 50.0f);
+    synth::drawRect(img, size / 4, size / 4, 3 * size / 4, 3 * size / 4,
+                    200.0f);
+    return img;
+}
+
+TEST(Fast, FlatImageHasNoCorners)
+{
+    const Image img(48, 48, 100.0f);
+    EXPECT_TRUE(detectFast(img).empty());
+}
+
+TEST(Fast, DetectsSquareCorners)
+{
+    const auto kps = detectFast(squareImage());
+    EXPECT_GE(kps.size(), 4u);
+    // At least one keypoint near the top-left corner of the square.
+    bool nearCorner = false;
+    for (const auto& kp : kps) {
+        if (std::abs(kp.x - 12.0f) <= 3.0f && std::abs(kp.y - 12.0f) <= 3.0f)
+            nearCorner = true;
+    }
+    EXPECT_TRUE(nearCorner);
+}
+
+TEST(Fast, NoCornersOnPlainEdge)
+{
+    // A straight vertical edge has no FAST-9 corners away from image
+    // borders.
+    Image img(48, 48, 50.0f);
+    synth::drawRect(img, 24, 0, 47, 47, 200.0f);
+    for (const auto& kp : detectFast(img)) {
+        // Any detection must not be in the middle of the straight edge.
+        EXPECT_FALSE(std::abs(kp.x - 24.0f) < 2.0f && kp.y > 8.0f &&
+                     kp.y < 40.0f)
+            << "corner at (" << kp.x << "," << kp.y << ")";
+    }
+}
+
+TEST(Fast, ThresholdMonotonicity)
+{
+    Rng rng(3);
+    const Image img = synth::scene(64, 64, rng);
+    FastParams lo;
+    lo.threshold = 10.0f;
+    FastParams hi;
+    hi.threshold = 40.0f;
+    EXPECT_GE(detectFast(img, lo).size(), detectFast(img, hi).size());
+}
+
+TEST(Fast, RecordsSegmentTestPhase)
+{
+    profiler::ProfilerSession session("FAST", 1);
+    detectFast(squareImage());
+    const auto trace = session.take();
+    ASSERT_GE(trace.size(), 2u);
+    EXPECT_EQ(trace.phases()[0].name, "fast_segment_test");
+    EXPECT_GT(trace.phases()[0].branchDivergence, 0.5);
+}
+
+TEST(Orb, ProducesDescriptorsForKeypoints)
+{
+    Rng rng(5);
+    const Image img = synth::scene(64, 64, rng);
+    const auto res = detectOrb(img);
+    EXPECT_EQ(res.keypoints.size(), res.descriptors.size());
+    EXPECT_FALSE(res.keypoints.empty());
+    for (const auto& d : res.descriptors)
+        EXPECT_EQ(d.size(), 32u);  // 256 bits
+}
+
+TEST(Orb, RespectsMaxKeypoints)
+{
+    Rng rng(7);
+    const Image img = synth::scene(96, 96, rng);
+    OrbParams params;
+    params.maxKeypoints = 10;
+    const auto res = detectOrb(img, params);
+    EXPECT_LE(res.keypoints.size(), 10u);
+}
+
+TEST(Orb, KeypointsRankedByResponse)
+{
+    Rng rng(9);
+    const Image img = synth::scene(64, 64, rng);
+    const auto res = detectOrb(img);
+    for (std::size_t i = 1; i < res.keypoints.size(); ++i)
+        EXPECT_GE(res.keypoints[i - 1].response,
+                  res.keypoints[i].response);
+}
+
+TEST(Orb, EmptyOnFlatImage)
+{
+    const Image img(64, 64, 128.0f);
+    const auto res = detectOrb(img);
+    EXPECT_TRUE(res.keypoints.empty());
+}
+
+TEST(Sift, DescriptorsAre128DAndNormalized)
+{
+    Rng rng(11);
+    const Image img = synth::scene(64, 64, rng);
+    const auto res = detectSift(img);
+    ASSERT_FALSE(res.descriptors.empty());
+    for (const auto& d : res.descriptors) {
+        ASSERT_EQ(d.size(), 128u);
+        double norm = 0.0;
+        for (float v : d)
+            norm += static_cast<double>(v) * static_cast<double>(v);
+        EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-3);
+    }
+}
+
+TEST(Sift, FlatImageYieldsNothing)
+{
+    const Image img(64, 64, 90.0f);
+    EXPECT_TRUE(detectSift(img).keypoints.empty());
+}
+
+TEST(Sift, ContrastThresholdMonotonicity)
+{
+    Rng rng(13);
+    const Image img = synth::scene(64, 64, rng);
+    SiftParams lo;
+    lo.contrastThreshold = 1.0f;
+    SiftParams hi;
+    hi.contrastThreshold = 8.0f;
+    EXPECT_GE(detectSift(img, lo).keypoints.size(),
+              detectSift(img, hi).keypoints.size());
+}
+
+TEST(Sift, MultiOctaveKeypointsCoverScales)
+{
+    Rng rng(15);
+    const Image img = synth::scene(128, 128, rng);
+    const auto res = detectSift(img);
+    bool sawBase = false;
+    bool sawHigher = false;
+    for (const auto& kp : res.keypoints) {
+        if (kp.scale == 1.0f)
+            sawBase = true;
+        if (kp.scale > 1.0f)
+            sawHigher = true;
+    }
+    EXPECT_TRUE(sawBase);
+    EXPECT_TRUE(sawHigher);
+}
+
+TEST(Surf, DetectsBlobStructure)
+{
+    Image img(64, 64, 100.0f);
+    synth::drawDisc(img, 32, 32, 6, 220.0f);
+    const auto res = detectSurf(img);
+    EXPECT_FALSE(res.keypoints.empty());
+    // The strongest response should be near the blob center.
+    const auto& best = *std::max_element(
+        res.keypoints.begin(), res.keypoints.end(),
+        [](const Keypoint& a, const Keypoint& b) {
+            return a.response < b.response;
+        });
+    EXPECT_NEAR(best.x, 32.0f, 6.0f);
+    EXPECT_NEAR(best.y, 32.0f, 6.0f);
+}
+
+TEST(Surf, DescriptorsAre64DAndNormalized)
+{
+    Rng rng(17);
+    const Image img = synth::scene(64, 64, rng);
+    const auto res = detectSurf(img);
+    ASSERT_EQ(res.keypoints.size(), res.descriptors.size());
+    for (const auto& d : res.descriptors) {
+        ASSERT_EQ(d.size(), 64u);
+        double norm = 0.0;
+        for (float v : d)
+            norm += static_cast<double>(v) * static_cast<double>(v);
+        EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-3);
+    }
+}
+
+TEST(Surf, FlatImageYieldsNothing)
+{
+    const Image img(64, 64, 90.0f);
+    EXPECT_TRUE(detectSurf(img).keypoints.empty());
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+/** @file Unit tests for the Equation-2 fairness metric. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/log.h"
+#include "predictor/fairness.h"
+
+namespace {
+
+using namespace mapp;
+using namespace mapp::predictor;
+
+TEST(Fairness, EqualSlowdownsAreFair)
+{
+    // Both tasks slowed to 50%: perfectly fair.
+    const std::vector<double> shared{0.5, 1.0};
+    const std::vector<double> alone{1.0, 2.0};
+    EXPECT_DOUBLE_EQ(fairness(shared, alone), 1.0);
+}
+
+TEST(Fairness, AsymmetricSlowdownLowersFairness)
+{
+    // Task 0 keeps 90% of its IPC, task 1 only 30%.
+    const std::vector<double> shared{0.9, 0.3};
+    const std::vector<double> alone{1.0, 1.0};
+    EXPECT_NEAR(fairness(shared, alone), 0.3 / 0.9, 1e-12);
+}
+
+TEST(Fairness, OrderInvariant)
+{
+    const std::vector<double> sharedA{0.9, 0.3};
+    const std::vector<double> sharedB{0.3, 0.9};
+    const std::vector<double> alone{1.0, 1.0};
+    EXPECT_DOUBLE_EQ(fairness(sharedA, alone), fairness(sharedB, alone));
+}
+
+TEST(Fairness, BoundedByOne)
+{
+    const std::vector<double> shared{0.7, 0.5, 0.9};
+    const std::vector<double> alone{1.0, 1.0, 1.0};
+    const double f = fairness(shared, alone);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0);
+}
+
+TEST(Fairness, ThreeTasksUsesExtremes)
+{
+    // Slowdowns: 0.8, 0.5, 0.4 -> min/max = 0.5.
+    const std::vector<double> shared{0.8, 0.5, 0.4};
+    const std::vector<double> alone{1.0, 1.0, 1.0};
+    EXPECT_DOUBLE_EQ(fairness(shared, alone), 0.5);
+}
+
+TEST(Fairness, SlowdownsComputedPerTask)
+{
+    const std::vector<double> shared{1.0, 1.0};
+    const std::vector<double> alone{2.0, 4.0};
+    const auto s = slowdowns(shared, alone);
+    EXPECT_DOUBLE_EQ(s[0], 0.5);
+    EXPECT_DOUBLE_EQ(s[1], 0.25);
+}
+
+TEST(Fairness, MismatchedInputsFatal)
+{
+    EXPECT_THROW(slowdowns(std::vector<double>{1.0},
+                           std::vector<double>{1.0, 2.0}),
+                 FatalError);
+    EXPECT_THROW(slowdowns({}, {}), FatalError);
+}
+
+TEST(Fairness, NonPositiveAloneIpcFatal)
+{
+    EXPECT_THROW(slowdowns(std::vector<double>{1.0},
+                           std::vector<double>{0.0}),
+                 FatalError);
+}
+
+TEST(Fairness, MeanVariantAveragesSlowdowns)
+{
+    const std::vector<double> shared{0.8, 0.4};
+    const std::vector<double> alone{1.0, 1.0};
+    EXPECT_NEAR(
+        fairness(shared, alone, FairnessVariant::MeanSlowdown), 0.6,
+        1e-12);
+}
+
+TEST(Fairness, HarmonicVariantBelowMean)
+{
+    const std::vector<double> shared{0.8, 0.4};
+    const std::vector<double> alone{1.0, 1.0};
+    const double mean =
+        fairness(shared, alone, FairnessVariant::MeanSlowdown);
+    const double harmonic =
+        fairness(shared, alone, FairnessVariant::HarmonicMean);
+    EXPECT_LT(harmonic, mean);
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+/** @file Unit tests for the GPU L2/TLB/SM models and the MPS co-run
+ * simulator. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "gpusim/l2_model.h"
+#include "gpusim/mps_sim.h"
+#include "gpusim/sm_model.h"
+#include "gpusim/tlb_model.h"
+
+namespace {
+
+using namespace mapp;
+using namespace mapp::gpusim;
+
+isa::KernelPhase
+gpuComputePhase(InstCount insts = 10'000'000, double parallel = 0.97)
+{
+    isa::KernelPhase p;
+    p.name = "compute";
+    p.mix.add(isa::InstClass::FpAlu, insts / 2);
+    p.mix.add(isa::InstClass::Simd, insts / 4);
+    p.mix.add(isa::InstClass::IntAlu, insts / 4);
+    p.footprint = 256 * 1024;
+    p.locality = 0.8;
+    p.parallelFraction = parallel;
+    p.workItems = 200'000;
+    return p;
+}
+
+isa::KernelPhase
+gpuMemoryPhase(InstCount insts = 10'000'000)
+{
+    isa::KernelPhase p;
+    p.name = "memory";
+    p.mix.add(isa::InstClass::MemRead, insts / 2);
+    p.mix.add(isa::InstClass::MemWrite, insts / 4);
+    p.mix.add(isa::InstClass::IntAlu, insts / 4);
+    p.bytesRead = insts * 8;
+    p.bytesWritten = insts * 2;
+    p.footprint = 16ull << 20;
+    p.locality = 0.1;
+    p.parallelFraction = 0.97;
+    p.workItems = 200'000;
+    return p;
+}
+
+GpuAllocation
+wholeGpu(const GpuConfig& cfg)
+{
+    return GpuAllocation{.sms = cfg.numSms,
+                         .l2Share = cfg.l2Size,
+                         .bandwidthShare = cfg.memBandwidth,
+                         .residentApps = 1,
+                         .memQueueFactor = 1.0};
+}
+
+TEST(L2Model, CapacityAndInterference)
+{
+    const Bytes share = 2ull << 20;
+    EXPECT_LT(l2MissRate(64_KiB, share, 0.8, 1),
+              l2MissRate(32ull << 20, share, 0.8, 1));
+    // A co-resident app adds conflict misses.
+    EXPECT_LT(l2MissRate(1ull << 20, share, 0.5, 1),
+              l2MissRate(1ull << 20, share, 0.5, 2));
+}
+
+TEST(L2Model, ZeroShareIsWorstCase)
+{
+    L2ModelParams params;
+    EXPECT_DOUBLE_EQ(l2MissRate(1024, 0, 0.5, 1), params.maxMissRate);
+}
+
+TEST(TlbModel, SmallFootprintNoMisses)
+{
+    GpuConfig cfg;
+    EXPECT_DOUBLE_EQ(tlbMissRate(cfg.pageSize / 2, 1, cfg), 0.0);
+}
+
+TEST(TlbModel, MultiAppPressureInflatesMisses)
+{
+    GpuConfig cfg;
+    const Bytes foot = 8ull << 20;
+    EXPECT_LT(tlbMissRate(foot, 1, cfg), tlbMissRate(foot, 2, cfg));
+    EXPECT_LT(tlbMissRate(foot, 2, cfg), tlbMissRate(foot, 4, cfg));
+}
+
+TEST(TlbModel, StallTimeScalesWithPageTouches)
+{
+    GpuConfig cfg;
+    EXPECT_LT(tlbStallTime(100.0, 0.2, 1, cfg),
+              tlbStallTime(10000.0, 0.2, 1, cfg));
+    // Co-residents expose more of the walk latency.
+    EXPECT_LT(tlbStallTime(1000.0, 0.2, 1, cfg),
+              tlbStallTime(1000.0, 0.2, 2, cfg));
+}
+
+TEST(SmModel, OccupancySaturatesAtCapacity)
+{
+    GpuConfig cfg;
+    auto p = gpuComputePhase();
+    p.workItems = 10;  // tiny kernel
+    EXPECT_LT(phaseOccupancy(p, cfg.numSms, cfg), 0.1);
+    p.workItems = 10'000'000;
+    EXPECT_DOUBLE_EQ(phaseOccupancy(p, cfg.numSms, cfg), 1.0);
+}
+
+TEST(SmModel, MoreSmsFaster)
+{
+    GpuConfig cfg;
+    auto alloc = wholeGpu(cfg);
+    const auto full = timeGpuPhase(gpuComputePhase(), alloc, cfg);
+    alloc.sms = cfg.numSms / 4;
+    const auto quarter = timeGpuPhase(gpuComputePhase(), alloc, cfg);
+    EXPECT_GT(quarter.time, full.time);
+}
+
+TEST(SmModel, DivergenceSlowsKernels)
+{
+    GpuConfig cfg;
+    const auto alloc = wholeGpu(cfg);
+    auto p = gpuComputePhase();
+    p.branchDivergence = 0.0;
+    const auto straight = timeGpuPhase(p, alloc, cfg);
+    p.branchDivergence = 0.9;
+    const auto divergent = timeGpuPhase(p, alloc, cfg);
+    EXPECT_GT(divergent.computeTime, straight.computeTime);
+}
+
+TEST(SmModel, SerialFractionCrawls)
+{
+    GpuConfig cfg;
+    const auto alloc = wholeGpu(cfg);
+    auto p = gpuComputePhase(10'000'000, 1.0);
+    const auto parallel = timeGpuPhase(p, alloc, cfg);
+    p.parallelFraction = 0.3;
+    const auto serialish = timeGpuPhase(p, alloc, cfg);
+    EXPECT_GT(serialish.serialTime, parallel.serialTime);
+    EXPECT_GT(serialish.time, parallel.time);
+}
+
+TEST(SmModel, LaunchOverheadScalesWithLaunches)
+{
+    GpuConfig cfg;
+    const auto alloc = wholeGpu(cfg);
+    auto p = gpuComputePhase();
+    p.launches = 1;
+    const auto one = timeGpuPhase(p, alloc, cfg);
+    p.launches = 100;
+    const auto many = timeGpuPhase(p, alloc, cfg);
+    EXPECT_NEAR(many.overheadTime, one.overheadTime * 100.0, 1e-12);
+}
+
+TEST(SmModel, HostStagedPhaseUsesPcie)
+{
+    GpuConfig cfg;
+    const auto alloc = wholeGpu(cfg);
+    isa::KernelPhase p;
+    p.name = "copy";
+    p.hostStaged = true;
+    p.mix.add(isa::InstClass::String, 1000);
+    p.bytesRead = 12ull << 20;
+    p.bytesWritten = 12ull << 20;
+    p.footprint = 12ull << 20;
+    p.workItems = 1000;
+    const auto t = timeGpuPhase(p, alloc, cfg);
+    // 12 MiB over ~12 GB/s is ~1 ms; SM terms must be zero.
+    EXPECT_NEAR(t.memoryTime,
+                static_cast<double>(p.bytesWritten) / cfg.pcieBandwidth,
+                1e-12);
+    EXPECT_DOUBLE_EQ(t.computeTime, 0.0);
+    EXPECT_DOUBLE_EQ(t.tlbTime, 0.0);
+}
+
+TEST(SmModel, MemoryPhaseBoundByBandwidthShare)
+{
+    GpuConfig cfg;
+    auto alloc = wholeGpu(cfg);
+    const auto fast = timeGpuPhase(gpuMemoryPhase(), alloc, cfg);
+    alloc.bandwidthShare = cfg.memBandwidth / 10.0;
+    const auto starved = timeGpuPhase(gpuMemoryPhase(), alloc, cfg);
+    EXPECT_GT(starved.memoryTime, fast.memoryTime * 5.0);
+}
+
+TEST(MpsSim, AloneRunBasics)
+{
+    MpsSim sim;
+    isa::WorkloadTrace t("A", 1);
+    t.append(gpuComputePhase());
+    const auto r = sim.runAlone(t);
+    EXPECT_GT(r.time, 0.0);
+    EXPECT_GT(r.ipc, 0.0);
+    EXPECT_EQ(r.app, "A");
+}
+
+TEST(MpsSim, CoRunDegradesBothClients)
+{
+    MpsSim sim;
+    isa::WorkloadTrace t("A", 1);
+    t.append(gpuComputePhase());
+    t.append(gpuMemoryPhase());
+    const auto alone = sim.runAlone(t);
+    const auto bag = sim.runShared({&t, &t});
+    EXPECT_GT(bag.apps[0].time, alone.time);
+    EXPECT_GT(bag.makespan, alone.time);
+}
+
+TEST(MpsSim, DegradationGrowsWithClients)
+{
+    MpsSim sim;
+    isa::WorkloadTrace t("A", 1);
+    t.append(gpuComputePhase());
+    t.append(gpuMemoryPhase());
+    const auto alone = sim.runAlone(t).time;
+    const auto two = sim.runShared({&t, &t}).makespan;
+    const auto four = sim.runShared({&t, &t, &t, &t}).makespan;
+    EXPECT_GT(two, alone);
+    EXPECT_GT(four, two);
+}
+
+TEST(MpsSim, ComputeBoundBagRoughlyDoubles)
+{
+    // Paper Fig. 2's shape: a compute-bound homogeneous pair on half
+    // the SMs each takes roughly twice as long (between 1.5x and 3x).
+    MpsSim sim;
+    isa::WorkloadTrace t("A", 1);
+    t.append(gpuComputePhase(100'000'000, 1.0));  // fully parallel
+    const auto alone = sim.runAlone(t).time;
+    const auto bag = sim.runShared({&t, &t}).makespan;
+    const double factor = bag / alone;
+    EXPECT_GT(factor, 1.4);
+    EXPECT_LT(factor, 3.0);
+}
+
+TEST(MpsSim, EmptyBagIsFatal)
+{
+    MpsSim sim;
+    EXPECT_THROW(sim.runShared({}), FatalError);
+}
+
+TEST(MpsSim, HeterogeneousMakespanIsMax)
+{
+    MpsSim sim;
+    isa::WorkloadTrace small("S", 1);
+    small.append(gpuComputePhase(1'000'000));
+    isa::WorkloadTrace big("B", 1);
+    big.append(gpuComputePhase(200'000'000));
+    const auto bag = sim.runShared({&small, &big});
+    EXPECT_NEAR(bag.makespan,
+                std::max(bag.apps[0].time, bag.apps[1].time), 1e-15);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+/** @file Unit tests for the op profiler and MICA characterization. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "profiler/mica.h"
+#include "profiler/op_profiler.h"
+
+namespace {
+
+using namespace mapp;
+using namespace mapp::profiler;
+
+isa::KernelPhase
+phaseWith(InstCount alu, InstCount mem)
+{
+    isa::KernelPhase p;
+    p.name = "p";
+    p.mix.add(isa::InstClass::IntAlu, alu);
+    p.mix.add(isa::InstClass::MemRead, mem);
+    p.bytesRead = mem * 4;
+    p.footprint = 4096;
+    p.workItems = 10;
+    return p;
+}
+
+TEST(ProfilerSession, CapturesRecordedPhases)
+{
+    ProfilerSession session("APP", 20);
+    EXPECT_TRUE(sessionActive());
+    record(phaseWith(10, 2));
+    record(phaseWith(20, 4));
+    const auto trace = session.take();
+    EXPECT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace.app(), "APP");
+    EXPECT_EQ(trace.batchSize(), 20);
+    EXPECT_FALSE(sessionActive());
+}
+
+TEST(ProfilerSession, RecordWithoutSessionIsNoop)
+{
+    ASSERT_FALSE(sessionActive());
+    EXPECT_NO_THROW(record(phaseWith(5, 1)));
+}
+
+TEST(ProfilerSession, RecordValidatesEvenWithoutSession)
+{
+    isa::KernelPhase bad;
+    bad.name = "bad";
+    EXPECT_THROW(record(bad), FatalError);
+}
+
+TEST(ProfilerSession, NestedSessionsAreFatal)
+{
+    ProfilerSession outer("A", 1);
+    EXPECT_THROW(ProfilerSession inner("B", 1), FatalError);
+}
+
+TEST(ProfilerSession, SequentialSessionsAllowed)
+{
+    {
+        ProfilerSession s1("A", 1);
+        record(phaseWith(1, 1));
+    }
+    ProfilerSession s2("B", 1);
+    record(phaseWith(2, 2));
+    EXPECT_EQ(s2.trace().size(), 1u);
+}
+
+TEST(ProfilerSession, RecordedPhaseCountMonotonic)
+{
+    const auto before = recordedPhaseCount();
+    record(phaseWith(3, 1));
+    EXPECT_EQ(recordedPhaseCount(), before + 1);
+}
+
+TEST(Mica, CharacterizeComputesMixPercent)
+{
+    isa::WorkloadTrace t("APP", 20);
+    t.append(phaseWith(75, 25));
+    const auto r = characterize(t);
+    EXPECT_EQ(r.app, "APP");
+    EXPECT_EQ(r.instructions, 100u);
+    EXPECT_DOUBLE_EQ(r.percent(isa::InstClass::IntAlu), 75.0);
+    EXPECT_DOUBLE_EQ(r.percent(isa::InstClass::MemRead), 25.0);
+    EXPECT_DOUBLE_EQ(r.memPercent(), 25.0);
+}
+
+TEST(Mica, BytesPerInstruction)
+{
+    isa::WorkloadTrace t("APP", 20);
+    t.append(phaseWith(0, 100));  // 100 insts, 400 bytes read
+    const auto r = characterize(t);
+    EXPECT_DOUBLE_EQ(r.bytesPerInstruction, 4.0);
+}
+
+TEST(Mica, CarriesBehaviouralAttributes)
+{
+    isa::WorkloadTrace t("APP", 20);
+    auto p = phaseWith(10, 10);
+    p.locality = 0.7;
+    p.parallelFraction = 0.6;
+    p.branchDivergence = 0.4;
+    t.append(p);
+    const auto r = characterize(t);
+    EXPECT_DOUBLE_EQ(r.locality, 0.7);
+    EXPECT_DOUBLE_EQ(r.parallelFraction, 0.6);
+    EXPECT_DOUBLE_EQ(r.branchDivergence, 0.4);
+    EXPECT_EQ(r.footprint, 4096u);
+}
+
+TEST(Mica, EmptyTraceSafe)
+{
+    isa::WorkloadTrace t("APP", 20);
+    const auto r = characterize(t);
+    EXPECT_EQ(r.instructions, 0u);
+    EXPECT_DOUBLE_EQ(r.bytesPerInstruction, 0.0);
+}
+
+TEST(Mica, ToStringMentionsAppAndMix)
+{
+    isa::WorkloadTrace t("SURF", 80);
+    t.append(phaseWith(10, 10));
+    const auto s = characterize(t).toString();
+    EXPECT_NE(s.find("SURF"), std::string::npos);
+    EXPECT_NE(s.find("arith"), std::string::npos);
+}
+
+}  // namespace

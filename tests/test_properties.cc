@@ -1,0 +1,231 @@
+/** @file System-wide property tests: invariants that must hold for every
+ * benchmark, batch size, instance count or random input — parameterized
+ * gtest sweeps across the full cartesian spaces. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/sharing.h"
+#include "predictor/data_collection.h"
+#include "predictor/fairness.h"
+#include "predictor/predictor.h"
+#include "vision/registry.h"
+
+namespace {
+
+using namespace mapp;
+using vision::BenchmarkId;
+
+predictor::DataCollector&
+collector()
+{
+    static predictor::DataCollector instance;
+    return instance;
+}
+
+/* -------------------------------------------------------------------- */
+/* Per-benchmark invariants                                              */
+
+class PerBenchmark : public ::testing::TestWithParam<BenchmarkId>
+{
+};
+
+TEST_P(PerBenchmark, TraceIsNonTrivialAndValid)
+{
+    const auto& trace = vision::cachedTrace(GetParam(), 20);
+    EXPECT_GE(trace.size(), 2u);
+    EXPECT_GT(trace.totalInstructions(), 100'000u);
+    EXPECT_GT(trace.peakFootprint(), 0u);
+    for (const auto& p : trace.phases())
+        EXPECT_NO_THROW(p.validate());
+}
+
+TEST_P(PerBenchmark, MixPercentagesSumTo100)
+{
+    const auto mix = vision::cachedTrace(GetParam(), 20).totalMix();
+    double sum = 0.0;
+    for (isa::InstClass c : isa::kAllInstClasses)
+        sum += mix.percent(c);
+    EXPECT_NEAR(sum, 100.0, 1e-9);
+}
+
+TEST_P(PerBenchmark, CoRunNeverFasterThanAlone)
+{
+    const predictor::BagMember m{GetParam(), 20};
+    const auto& f = collector().appFeatures(m);
+    const auto bag =
+        collector().collect(predictor::BagSpec{m, m});
+    EXPECT_GE(bag.gpuBagTime, f.gpuTime * (1.0 - 1e-9));
+    EXPECT_GE(bag.cpuSharedMakespan, f.cpuTime * (1.0 - 1e-9));
+}
+
+TEST_P(PerBenchmark, GpuDegradationMonotoneInInstances)
+{
+    const auto times =
+        collector().gpuHomogeneousScaling({GetParam(), 20}, 4);
+    for (std::size_t k = 1; k < times.size(); ++k)
+        EXPECT_GE(times[k], times[k - 1] * (1.0 - 1e-9))
+            << "at " << k + 1 << " instances";
+}
+
+TEST_P(PerBenchmark, CpuDegradationMonotoneInInstances)
+{
+    const auto times =
+        collector().cpuHomogeneousScaling({GetParam(), 20}, 4);
+    for (std::size_t k = 1; k < times.size(); ++k)
+        EXPECT_GE(times[k], times[k - 1] * (1.0 - 1e-9))
+            << "at " << k + 1 << " instances";
+}
+
+TEST_P(PerBenchmark, FairnessOfHomogeneousBagIsOne)
+{
+    const predictor::BagMember m{GetParam(), 20};
+    EXPECT_NEAR(
+        collector().measureFairness(predictor::BagSpec{m, m}), 1.0,
+        1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, PerBenchmark,
+    ::testing::ValuesIn(vision::kAllBenchmarks.begin(),
+                        vision::kAllBenchmarks.end()),
+    [](const auto& info) {
+        return vision::benchmarkName(info.param);
+    });
+
+/* -------------------------------------------------------------------- */
+/* Per-batch-size invariants                                             */
+
+class PerBatchSize : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PerBatchSize, WorkGrowsWithBatch)
+{
+    // Instructions must be strictly monotone in batch size (each batch
+    // is more work) for a per-image and a training-style benchmark.
+    if (GetParam() == 20)
+        return;  // nothing smaller to compare against
+    const int batch = GetParam();
+    for (BenchmarkId id : {BenchmarkId::Surf, BenchmarkId::Svm}) {
+        EXPECT_GT(vision::cachedTrace(id, batch).totalInstructions(),
+                  vision::cachedTrace(id, 20).totalInstructions())
+            << vision::benchmarkName(id) << "@" << batch;
+    }
+}
+
+TEST_P(PerBatchSize, TimesGrowWithBatch)
+{
+    if (GetParam() == 20)
+        return;
+    const predictor::BagMember small{BenchmarkId::Hog, 20};
+    const predictor::BagMember big{BenchmarkId::Hog, GetParam()};
+    EXPECT_GT(collector().appFeatures(big).gpuTime,
+              collector().appFeatures(small).gpuTime);
+    EXPECT_GT(collector().appFeatures(big).cpuTime,
+              collector().appFeatures(small).cpuTime);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperBatchSizes, PerBatchSize,
+                         ::testing::ValuesIn(vision::kBatchSizes.begin(),
+                                             vision::kBatchSizes.end()));
+
+/* -------------------------------------------------------------------- */
+/* Randomized invariants                                                 */
+
+class RandomSeed : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomSeed, MaxMinShareInvariants)
+{
+    Rng rng(GetParam());
+    std::vector<double> demands;
+    const int n = static_cast<int>(rng.uniformInt(1, 8));
+    for (int i = 0; i < n; ++i)
+        demands.push_back(rng.uniform(0.0, 100.0));
+    const double total = rng.uniform(1.0, 300.0);
+
+    const auto granted = maxMinShare(demands, total);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < granted.size(); ++i) {
+        EXPECT_GE(granted[i], 0.0);
+        EXPECT_LE(granted[i], demands[i] + 1e-9);
+        sum += granted[i];
+    }
+    EXPECT_LE(sum, total + 1e-9);
+    // Work conservation: if total demand exceeds capacity, the channel
+    // must be fully used.
+    double demandSum = 0.0;
+    for (double d : demands)
+        demandSum += d;
+    if (demandSum >= total)
+        EXPECT_NEAR(sum, total, 1e-9);
+    else
+        EXPECT_NEAR(sum, demandSum, 1e-9);
+}
+
+TEST_P(RandomSeed, FairnessBoundedForRandomIpcs)
+{
+    Rng rng(GetParam() ^ 0xF00Dull);
+    const int n = static_cast<int>(rng.uniformInt(2, 5));
+    std::vector<double> shared;
+    std::vector<double> alone;
+    for (int i = 0; i < n; ++i) {
+        const double a = rng.uniform(0.5, 4.0);
+        alone.push_back(a);
+        shared.push_back(a * rng.uniform(0.05, 1.0));  // any slowdown
+    }
+    const double f = predictor::fairness(shared, alone);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LE(f, 1.0 + 1e-12);
+}
+
+TEST_P(RandomSeed, PredictorIsDeterministic)
+{
+    // Same data -> identical trees and predictions, independent of seed
+    // (there is no randomness in training); the seed varies the query.
+    static const auto points = [] {
+        std::vector<predictor::BagSpec> specs;
+        for (auto id : vision::kAllBenchmarks)
+            specs.push_back(predictor::BagSpec{{id, 20}, {id, 20}});
+        return collector().collectAll(specs);
+    }();
+    predictor::MultiAppPredictor m1;
+    predictor::MultiAppPredictor m2;
+    m1.train(points);
+    m2.train(points);
+    const auto& probe = points[GetParam() % points.size()];
+    EXPECT_DOUBLE_EQ(m1.predict(probe), m2.predict(probe));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSeed,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u,
+                                           8u));
+
+/* -------------------------------------------------------------------- */
+/* Cross-cutting determinism                                             */
+
+TEST(Determinism, ProfilingIsBitStable)
+{
+    const auto a = vision::profileWorkload(BenchmarkId::Orb, 20);
+    const auto b = vision::profileWorkload(BenchmarkId::Orb, 20);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.totalMix(), b.totalMix());
+    EXPECT_EQ(a.totalBytesRead(), b.totalBytesRead());
+}
+
+TEST(Determinism, CollectionIsBitStable)
+{
+    predictor::DataCollector c1;
+    predictor::DataCollector c2;
+    const predictor::BagSpec spec{{BenchmarkId::Fast, 20},
+                                  {BenchmarkId::Surf, 20}};
+    const auto p1 = c1.collect(spec);
+    const auto p2 = c2.collect(spec);
+    EXPECT_DOUBLE_EQ(p1.gpuBagTime, p2.gpuBagTime);
+    EXPECT_DOUBLE_EQ(p1.fairness, p2.fairness);
+    EXPECT_DOUBLE_EQ(p1.a.cpuTime, p2.a.cpuTime);
+}
+
+}  // namespace

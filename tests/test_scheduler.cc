@@ -1,0 +1,145 @@
+/** @file Tests for the predictor-guided co-scheduler. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "predictor/scheduler.h"
+
+namespace {
+
+using namespace mapp;
+using namespace mapp::predictor;
+using vision::BenchmarkId;
+
+/** One trained model + collector shared across this suite. */
+struct Fixture
+{
+    DataCollector collector;
+    MultiAppPredictor model;
+
+    Fixture()
+    {
+        // A compact training campaign keeps the suite fast.
+        std::vector<BagSpec> specs;
+        for (std::size_t i = 0; i < vision::kAllBenchmarks.size(); ++i) {
+            specs.push_back(BagSpec{{vision::kAllBenchmarks[i], 20},
+                                    {vision::kAllBenchmarks[i], 20}});
+            for (std::size_t j = i + 1; j < vision::kAllBenchmarks.size();
+                 ++j)
+                specs.push_back(BagSpec{{vision::kAllBenchmarks[i], 20},
+                                        {vision::kAllBenchmarks[j], 20}});
+        }
+        model.train(collector.collectAll(specs));
+    }
+};
+
+Fixture&
+fixture()
+{
+    static Fixture f;
+    return f;
+}
+
+std::vector<BagMember>
+sampleQueue(std::size_t n)
+{
+    std::vector<BagMember> jobs;
+    for (std::size_t i = 0; i < n; ++i)
+        jobs.push_back({vision::kAllBenchmarks[i % 9], 20});
+    return jobs;
+}
+
+TEST(Scheduler, FifoPairsInArrivalOrder)
+{
+    CoScheduler sched(fixture().model, fixture().collector);
+    const auto jobs = sampleQueue(6);
+    const auto s = sched.schedule(jobs, PairingPolicy::Fifo);
+    ASSERT_EQ(s.bags.size(), 3u);
+    EXPECT_FALSE(s.leftover.has_value());
+    EXPECT_EQ(s.bags[0].spec.canonical(),
+              (BagSpec{jobs[0], jobs[1]}.canonical()));
+}
+
+TEST(Scheduler, OddQueueLeavesOneJob)
+{
+    CoScheduler sched(fixture().model, fixture().collector);
+    const auto s =
+        sched.schedule(sampleQueue(5), PairingPolicy::Greedy);
+    EXPECT_EQ(s.bags.size(), 2u);
+    EXPECT_TRUE(s.leftover.has_value());
+}
+
+TEST(Scheduler, PredictionsArePositiveAndSummed)
+{
+    CoScheduler sched(fixture().model, fixture().collector);
+    const auto s = sched.schedule(sampleQueue(6), PairingPolicy::Fifo);
+    double total = 0.0;
+    for (const auto& bag : s.bags) {
+        EXPECT_GT(bag.predictedSeconds, 0.0);
+        total += bag.predictedSeconds;
+    }
+    EXPECT_NEAR(s.predictedTotalSeconds, total, 1e-12);
+}
+
+TEST(Scheduler, GreedyNeverWorseThanFifoOnPrediction)
+{
+    // Greedy optimizes predicted time for its own head choices; it is
+    // a heuristic, but the exhaustive policy is the predicted optimum,
+    // so: exhaustive <= greedy and exhaustive <= fifo on predictions.
+    CoScheduler sched(fixture().model, fixture().collector);
+    const auto jobs = sampleQueue(8);
+    const double fifo =
+        sched.schedule(jobs, PairingPolicy::Fifo).predictedTotalSeconds;
+    const double greedy =
+        sched.schedule(jobs, PairingPolicy::Greedy)
+            .predictedTotalSeconds;
+    const double best = sched.schedule(jobs, PairingPolicy::Exhaustive)
+                            .predictedTotalSeconds;
+    EXPECT_LE(best, fifo + 1e-12);
+    EXPECT_LE(best, greedy + 1e-12);
+}
+
+TEST(Scheduler, ExhaustiveCoversAllJobsExactlyOnce)
+{
+    CoScheduler sched(fixture().model, fixture().collector);
+    const auto jobs = sampleQueue(6);
+    const auto s = sched.schedule(jobs, PairingPolicy::Exhaustive);
+    ASSERT_EQ(s.bags.size(), 3u);
+    std::map<std::string, int> seen;
+    for (const auto& bag : s.bags) {
+        seen[vision::benchmarkName(bag.spec.a.id)] += 1;
+        seen[vision::benchmarkName(bag.spec.b.id)] += 1;
+    }
+    int total = 0;
+    for (const auto& [name, count] : seen)
+        total += count;
+    EXPECT_EQ(total, 6);
+}
+
+TEST(Scheduler, ExhaustiveRejectsHugeQueues)
+{
+    CoScheduler sched(fixture().model, fixture().collector);
+    EXPECT_THROW(
+        sched.schedule(sampleQueue(16), PairingPolicy::Exhaustive),
+        FatalError);
+}
+
+TEST(Scheduler, MeasureMatchesCollectorGroundTruth)
+{
+    CoScheduler sched(fixture().model, fixture().collector);
+    const auto s = sched.schedule(sampleQueue(4), PairingPolicy::Fifo);
+    double expected = 0.0;
+    for (const auto& bag : s.bags)
+        expected += fixture().collector.collect(bag.spec).gpuBagTime;
+    EXPECT_NEAR(sched.measure(s), expected, 1e-12);
+}
+
+TEST(Scheduler, MeasureFairnessMatchesCollectPipeline)
+{
+    auto& c = fixture().collector;
+    const BagSpec spec{{BenchmarkId::Fast, 20}, {BenchmarkId::Sift, 20}};
+    EXPECT_NEAR(c.measureFairness(spec), c.collect(spec).fairness,
+                1e-12);
+}
+
+}  // namespace

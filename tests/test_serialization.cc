@@ -1,0 +1,120 @@
+/** @file Round-trip tests for trace and dataset serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/log.h"
+#include "isa/trace_io.h"
+#include "ml/dataset_io.h"
+#include "vision/registry.h"
+
+namespace {
+
+using namespace mapp;
+
+TEST(TraceIo, CsvRoundTripPreservesEverything)
+{
+    const auto trace = vision::profileWorkload(vision::BenchmarkId::Hog,
+                                               20);
+    const auto back = isa::traceFromCsv(isa::traceToCsv(trace));
+    EXPECT_EQ(back.app(), trace.app());
+    EXPECT_EQ(back.batchSize(), trace.batchSize());
+    ASSERT_EQ(back.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto& a = trace.phases()[i];
+        const auto& b = back.phases()[i];
+        EXPECT_EQ(a.name, b.name);
+        EXPECT_EQ(a.mix, b.mix);
+        EXPECT_EQ(a.bytesRead, b.bytesRead);
+        EXPECT_EQ(a.bytesWritten, b.bytesWritten);
+        EXPECT_EQ(a.footprint, b.footprint);
+        EXPECT_EQ(a.workItems, b.workItems);
+        EXPECT_EQ(a.launches, b.launches);
+        EXPECT_EQ(a.hostStaged, b.hostStaged);
+        EXPECT_NEAR(a.parallelFraction, b.parallelFraction, 1e-6);
+        EXPECT_NEAR(a.locality, b.locality, 1e-6);
+        EXPECT_NEAR(a.branchDivergence, b.branchDivergence, 1e-6);
+    }
+}
+
+TEST(TraceIo, RejectsBadHeader)
+{
+    EXPECT_THROW(isa::traceFromCsv("a,b,c\n1,2,3\n"), FatalError);
+}
+
+TEST(TraceIo, RejectsEmptyTrace)
+{
+    const auto trace = vision::profileWorkload(vision::BenchmarkId::Fast,
+                                               4);
+    auto text = isa::traceToCsv(trace);
+    // Keep only the header line.
+    text.erase(text.find('\n') + 1);
+    EXPECT_THROW(isa::traceFromCsv(text), FatalError);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const auto trace = vision::profileWorkload(vision::BenchmarkId::Svm,
+                                               20);
+    const auto path = std::filesystem::temp_directory_path() /
+                      "mapp_trace_io_test.csv";
+    isa::writeTraceFile(trace, path.string());
+    const auto back = isa::readTraceFile(path.string());
+    EXPECT_EQ(back.totalInstructions(), trace.totalInstructions());
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_THROW(isa::readTraceFile("/nonexistent/trace.csv"),
+                 FatalError);
+}
+
+TEST(DatasetIo, CsvRoundTrip)
+{
+    ml::Dataset d({"x", "y"});
+    d.addRow({1.5, -2.0}, 10.0, "A+B");
+    d.addRow({0.25, 1e-9}, 0.125, "C");
+    const auto back = ml::datasetFromCsv(ml::datasetToCsv(d));
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back.featureNames(), d.featureNames());
+    EXPECT_DOUBLE_EQ(back.row(0)[0], 1.5);
+    EXPECT_DOUBLE_EQ(back.row(1)[1], 1e-9);
+    EXPECT_DOUBLE_EQ(back.target(0), 10.0);
+    EXPECT_EQ(back.group(0), "A+B");
+}
+
+TEST(DatasetIo, RejectsMissingTargetColumns)
+{
+    EXPECT_THROW(ml::datasetFromCsv("x,y\n1,2\n"), FatalError);
+}
+
+TEST(DatasetIo, RejectsNonNumericCells)
+{
+    EXPECT_THROW(
+        ml::datasetFromCsv("x,target,group\nhello,1,g\n"), FatalError);
+}
+
+TEST(DatasetIo, FileRoundTrip)
+{
+    ml::Dataset d({"f"});
+    d.addRow({42.0}, 7.0, "g");
+    const auto path = std::filesystem::temp_directory_path() /
+                      "mapp_dataset_io_test.csv";
+    ml::writeDatasetFile(d, path.string());
+    const auto back = ml::readDatasetFile(path.string());
+    EXPECT_DOUBLE_EQ(back.row(0)[0], 42.0);
+    std::filesystem::remove(path);
+}
+
+TEST(DatasetIo, GroupWithCommaSurvives)
+{
+    ml::Dataset d({"f"});
+    d.addRow({1.0}, 2.0, "weird,group+name");
+    const auto back = ml::datasetFromCsv(ml::datasetToCsv(d));
+    EXPECT_EQ(back.group(0), "weird,group+name");
+}
+
+}  // namespace

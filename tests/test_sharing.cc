@@ -1,0 +1,82 @@
+/** @file Unit tests for shared-resource arbitration helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/sharing.h"
+
+namespace {
+
+using namespace mapp;
+
+TEST(MaxMinShare, UnderloadedGrantsAllDemands)
+{
+    const auto g = maxMinShare({10.0, 20.0}, 100.0);
+    EXPECT_DOUBLE_EQ(g[0], 10.0);
+    EXPECT_DOUBLE_EQ(g[1], 20.0);
+}
+
+TEST(MaxMinShare, OverloadedSplitsFairly)
+{
+    const auto g = maxMinShare({100.0, 100.0}, 60.0);
+    EXPECT_DOUBLE_EQ(g[0], 30.0);
+    EXPECT_DOUBLE_EQ(g[1], 30.0);
+}
+
+TEST(MaxMinShare, SmallDemandProtected)
+{
+    // The small demand is fully granted; the big ones split the rest.
+    const auto g = maxMinShare({5.0, 100.0, 100.0}, 65.0);
+    EXPECT_DOUBLE_EQ(g[0], 5.0);
+    EXPECT_DOUBLE_EQ(g[1], 30.0);
+    EXPECT_DOUBLE_EQ(g[2], 30.0);
+}
+
+TEST(MaxMinShare, TotalNeverExceeded)
+{
+    const auto g = maxMinShare({50.0, 70.0, 10.0, 90.0}, 100.0);
+    double sum = 0.0;
+    for (double v : g)
+        sum += v;
+    EXPECT_LE(sum, 100.0 + 1e-9);
+}
+
+TEST(MaxMinShare, EmptyDemands)
+{
+    EXPECT_TRUE(maxMinShare({}, 10.0).empty());
+}
+
+TEST(MaxMinShare, ZeroCapacity)
+{
+    const auto g = maxMinShare({10.0}, 0.0);
+    EXPECT_DOUBLE_EQ(g[0], 0.0);
+}
+
+TEST(MaxMinShare, CascadedSatisfaction)
+{
+    // 10 fits; then 30 fits in the remainder (90/2 = 45 >= 30); the last
+    // takes what is left (60).
+    const auto g = maxMinShare({10.0, 30.0, 100.0}, 100.0);
+    EXPECT_DOUBLE_EQ(g[0], 10.0);
+    EXPECT_DOUBLE_EQ(g[1], 30.0);
+    EXPECT_DOUBLE_EQ(g[2], 60.0);
+}
+
+TEST(QueueingDelay, GrowsWithUtilization)
+{
+    EXPECT_DOUBLE_EQ(queueingDelayFactor(0.0), 1.0);
+    EXPECT_LT(queueingDelayFactor(0.3), queueingDelayFactor(0.8));
+}
+
+TEST(QueueingDelay, ClampedNearSaturation)
+{
+    EXPECT_DOUBLE_EQ(queueingDelayFactor(0.99),
+                     queueingDelayFactor(2.0));
+    EXPECT_NEAR(queueingDelayFactor(0.95), 20.0, 1e-9);
+}
+
+TEST(QueueingDelay, NegativeUtilizationClamps)
+{
+    EXPECT_DOUBLE_EQ(queueingDelayFactor(-1.0), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+/** @file Unit tests for descriptive statistics. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.h"
+
+namespace {
+
+using namespace mapp::stats;
+
+TEST(Stats, MeanOfKnownValues)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MeanOfEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, VarianceOfConstantIsZero)
+{
+    const std::vector<double> xs{5.0, 5.0, 5.0};
+    EXPECT_DOUBLE_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, VariancePopulationDefinition)
+{
+    const std::vector<double> xs{1.0, 3.0};
+    EXPECT_DOUBLE_EQ(variance(xs), 1.0);  // mean 2, deviations +-1
+    EXPECT_DOUBLE_EQ(stddev(xs), 1.0);
+}
+
+TEST(Stats, GeomeanOfPowers)
+{
+    const std::vector<double> xs{1.0, 4.0, 16.0};
+    EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive)
+{
+    const std::vector<double> xs{1.0, -2.0};
+    EXPECT_DOUBLE_EQ(geomean(xs), 0.0);
+}
+
+TEST(Stats, MinMaxSum)
+{
+    const std::vector<double> xs{3.0, -1.0, 7.0};
+    EXPECT_DOUBLE_EQ(minimum(xs), -1.0);
+    EXPECT_DOUBLE_EQ(maximum(xs), 7.0);
+    EXPECT_DOUBLE_EQ(sum(xs), 9.0);
+}
+
+TEST(Stats, MedianOddAndEven)
+{
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints)
+{
+    const std::vector<double> xs{10.0, 20.0, 30.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 20.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    const std::vector<double> xs{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Stats, PearsonPerfectPositive)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    const std::vector<double> ys{2.0, 4.0, 6.0};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectNegative)
+{
+    const std::vector<double> xs{1.0, 2.0, 3.0};
+    const std::vector<double> ys{6.0, 4.0, 2.0};
+    EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroVarianceGuard)
+{
+    const std::vector<double> xs{1.0, 1.0, 1.0};
+    const std::vector<double> ys{1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, RanksHandleTies)
+{
+    const std::vector<double> xs{10.0, 20.0, 20.0, 30.0};
+    const auto r = ranks(xs);
+    EXPECT_DOUBLE_EQ(r[0], 1.0);
+    EXPECT_DOUBLE_EQ(r[1], 2.5);
+    EXPECT_DOUBLE_EQ(r[2], 2.5);
+    EXPECT_DOUBLE_EQ(r[3], 4.0);
+}
+
+TEST(Stats, SpearmanMonotonicNonlinear)
+{
+    // y = x^3 is monotone: Spearman 1 even though the relation is
+    // nonlinear.
+    const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+    const std::vector<double> ys{1.0, 8.0, 27.0, 64.0, 125.0};
+    EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, AccumulatorMatchesBatchStatistics)
+{
+    const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    Accumulator acc;
+    for (double x : xs)
+        acc.add(x);
+    EXPECT_EQ(acc.count(), xs.size());
+    EXPECT_NEAR(acc.mean(), mean(xs), 1e-12);
+    EXPECT_NEAR(acc.variance(), variance(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(acc.minimum(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.maximum(), 9.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), sum(xs));
+}
+
+TEST(Stats, AccumulatorEmptyIsSafe)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,95 @@
+/** @file Unit tests for ASCII table and bar-chart rendering. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.h"
+
+namespace {
+
+using namespace mapp;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("My Title");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("My Title"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, NumericRowFormatting)
+{
+    TextTable t;
+    t.setHeader({"bench", "err"});
+    t.addRow("FAST", {12.3456}, 2);
+    const std::string out = t.render();
+    EXPECT_NE(out.find("12.35"), std::string::npos);
+}
+
+TEST(TextTable, PadsShortRows)
+{
+    TextTable t;
+    t.setHeader({"a", "b", "c"});
+    t.addRow({"only"});
+    EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, HandlesWideCells)
+{
+    TextTable t;
+    t.setHeader({"x"});
+    t.addRow({"a-very-long-cell-value"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("a-very-long-cell-value"), std::string::npos);
+}
+
+TEST(BarChart, ProportionalBars)
+{
+    const std::string out = renderBarChart(
+        "T", {{"a", 10.0}, {"b", 5.0}}, 20, "%");
+    // The larger value gets the full width; the smaller roughly half.
+    const auto countHashes = [&](const std::string& label) {
+        const auto pos = out.find(label);
+        const auto eol = out.find('\n', pos);
+        int n = 0;
+        for (auto i = pos; i < eol; ++i)
+            if (out[i] == '#')
+                ++n;
+        return n;
+    };
+    EXPECT_EQ(countHashes("a"), 20);
+    EXPECT_EQ(countHashes("b"), 10);
+    EXPECT_NE(out.find("10.00%"), std::string::npos);
+}
+
+TEST(BarChart, ZeroValuesSafe)
+{
+    EXPECT_NO_THROW(renderBarChart("T", {{"a", 0.0}}, 10));
+}
+
+TEST(BarChart, EmptySafe)
+{
+    EXPECT_NO_THROW(renderBarChart("T", {}, 10));
+}
+
+TEST(GroupedBars, RendersAllGroupsAndSeries)
+{
+    const std::string out = renderGroupedBars(
+        "G", {"FAST", "HoG"}, {"1", "2"},
+        {{1.0, 0.8}, {1.0, 0.5}}, 20);
+    EXPECT_NE(out.find("FAST"), std::string::npos);
+    EXPECT_NE(out.find("HoG"), std::string::npos);
+    EXPECT_NE(out.find("0.500"), std::string::npos);
+}
+
+TEST(FormatDouble, Precision)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+/** @file Tests for the simulators' per-phase timeline diagnostics and
+ * the logging utilities. */
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+#include "cpusim/multicore_sim.h"
+#include "gpusim/mps_sim.h"
+#include "vision/registry.h"
+
+namespace {
+
+using namespace mapp;
+
+TEST(GpuTimeline, OneEntryPerPhaseAndConsistentTotals)
+{
+    const auto& trace = vision::cachedTrace(vision::BenchmarkId::Hog, 20);
+    gpusim::MpsSim sim;
+    const auto phases = sim.timeline(trace);
+    ASSERT_EQ(phases.size(), trace.size());
+    double total = 0.0;
+    for (const auto& t : phases) {
+        EXPECT_GE(t.time, 0.0);
+        // The overlapped total can never exceed the sum of components.
+        EXPECT_LE(t.time, t.computeTime + t.serialTime + t.memoryTime +
+                              t.tlbTime + t.overheadTime + 1e-15);
+        total += t.time;
+    }
+    EXPECT_GT(total, 0.0);
+}
+
+TEST(GpuTimeline, StagedPhasesHaveNoSmWork)
+{
+    const auto& trace =
+        vision::cachedTrace(vision::BenchmarkId::Fast, 20);
+    gpusim::MpsSim sim;
+    const auto phases = sim.timeline(trace);
+    bool sawStaged = false;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (!trace.phases()[i].hostStaged)
+            continue;
+        sawStaged = true;
+        EXPECT_DOUBLE_EQ(phases[i].computeTime, 0.0);
+        EXPECT_DOUBLE_EQ(phases[i].tlbTime, 0.0);
+        EXPECT_GT(phases[i].time, 0.0);
+    }
+    EXPECT_TRUE(sawStaged);  // image_copy phases exist
+}
+
+TEST(CpuTimeline, OneEntryPerPhaseWithBreakdown)
+{
+    const auto& trace =
+        vision::cachedTrace(vision::BenchmarkId::Surf, 20);
+    cpusim::MulticoreSim sim;
+    const auto phases = sim.timeline(trace, 8);
+    ASSERT_EQ(phases.size(), trace.size());
+    for (const auto& t : phases) {
+        EXPECT_GT(t.time, 0.0);
+        EXPECT_GT(t.computeCycles, 0.0);
+        EXPECT_GE(t.llcMissRate, 0.0);
+        EXPECT_LE(t.llcMissRate, 1.0);
+        EXPECT_GE(t.effectiveParallelism, 0.25);
+    }
+}
+
+TEST(CpuTimeline, MoreThreadsShrinkParallelPhases)
+{
+    const auto& trace = vision::cachedTrace(vision::BenchmarkId::Hog, 20);
+    cpusim::MulticoreSim sim;
+    const auto t1 = sim.timeline(trace, 1);
+    const auto t16 = sim.timeline(trace, 16);
+    double sum1 = 0.0;
+    double sum16 = 0.0;
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        sum1 += t1[i].time;
+        sum16 += t16[i].time;
+    }
+    EXPECT_LT(sum16, sum1);
+}
+
+TEST(Log, LevelsControlInform)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    EXPECT_NO_THROW(inform("suppressed"));
+    EXPECT_NO_THROW(verbose("suppressed"));
+    setLogLevel(LogLevel::Verbose);
+    EXPECT_NO_THROW(verbose("printed"));
+    setLogLevel(before);
+}
+
+TEST(Log, FatalThrowsWithMessage)
+{
+    try {
+        fatal("the message");
+        FAIL() << "fatal() must throw";
+    } catch (const FatalError& e) {
+        EXPECT_STREQ(e.what(), "the message");
+    }
+}
+
+TEST(Log, WarnNeverThrows)
+{
+    EXPECT_NO_THROW(warn("just a warning"));
+}
+
+}  // namespace
