@@ -9,16 +9,56 @@
 #ifndef MAPP_BENCH_HARNESS_H
 #define MAPP_BENCH_HARNESS_H
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
+#include "obs/metrics.h"
 #include "predictor/data_collection.h"
 #include "predictor/predictor.h"
 #include "predictor/schemes.h"
 
 namespace mapp::bench {
+
+/**
+ * Every bench binary including this header writes its metrics registry
+ * to `<binary>.metrics.json` in the working directory at exit, so each
+ * benchmark result gets a machine-readable sidecar (simulator event
+ * counts, cache hit rates, tree-fit timings) for free. Set
+ * MAPP_METRICS_SIDECAR=0 to suppress it.
+ */
+inline void
+writeMetricsSidecar()
+{
+    const char* toggle = std::getenv("MAPP_METRICS_SIDECAR");
+    if (toggle != nullptr && std::string(toggle) == "0")
+        return;
+    std::string name = "bench";
+#ifdef __GLIBC__
+    name = program_invocation_short_name;
+#endif
+    obs::defaultRegistry().writeJson(name + ".metrics.json");
+}
+
+namespace detail {
+
+/** Registers the sidecar writer once per process at static init. */
+struct MetricsSidecarHook
+{
+    MetricsSidecarHook()
+    {
+        // Touch the registry first so it outlives the atexit handler.
+        obs::defaultRegistry();
+        std::atexit(writeMetricsSidecar);
+    }
+};
+
+inline const MetricsSidecarHook metricsSidecarHook{};
+
+}  // namespace detail
 
 /** The process-wide data collector (memoizes per-app measurements). */
 inline predictor::DataCollector&

@@ -11,15 +11,27 @@
  *   mapp_cli trace SIFT 40 <out.csv>  profile one workload and dump its
  *                                     phase trace
  *   mapp_cli tree                     print the trained decision tree
+ *
+ * Observability flags (valid before or after the command):
+ *   --trace-out=<file>     record a Chrome-trace JSON of the run
+ *                          (open in chrome://tracing or Perfetto)
+ *   --timeline-out=<file>  plain-text timeline dump of the same events
+ *   --metrics-out=<file>   write the metrics registry as JSON at exit
+ *   --log-level=<level>    quiet | normal | verbose | debug
  */
 
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/log.h"
 #include "isa/trace_io.h"
 #include "ml/dataset_io.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "predictor/data_collection.h"
 #include "predictor/predictor.h"
 #include "predictor/schemes.h"
@@ -37,8 +49,96 @@ usage()
                  "  mapp_cli loocv [insmix|full]\n"
                  "  mapp_cli predict <BENCH@BATCH> <BENCH@BATCH>\n"
                  "  mapp_cli trace <BENCH> <BATCH> <out.csv>\n"
-                 "  mapp_cli tree\n");
+                 "  mapp_cli tree\n"
+                 "flags:\n"
+                 "  --trace-out=<file>     Chrome-trace JSON "
+                 "(chrome://tracing, Perfetto)\n"
+                 "  --timeline-out=<file>  plain-text event timeline\n"
+                 "  --metrics-out=<file>   metrics registry JSON\n"
+                 "  --log-level=<level>    quiet|normal|verbose|debug\n");
     return 2;
+}
+
+/** Observability flags shared by every subcommand. */
+struct ObsOptions
+{
+    std::string traceOut;
+    std::string timelineOut;
+    std::string metricsOut;
+};
+
+/**
+ * Strip --trace-out/--timeline-out/--metrics-out/--log-level from the
+ * argument list and apply them. @return std::nullopt on a bad flag.
+ */
+std::optional<ObsOptions>
+extractObsOptions(std::vector<std::string>& args)
+{
+    ObsOptions opts;
+    std::vector<std::string> rest;
+    for (const auto& arg : args) {
+        const auto flagValue =
+            [&](const char* prefix) -> std::optional<std::string> {
+            const std::size_t n = std::strlen(prefix);
+            if (arg.rfind(prefix, 0) == 0)
+                return arg.substr(n);
+            return std::nullopt;
+        };
+        if (auto v = flagValue("--trace-out=")) {
+            opts.traceOut = *v;
+        } else if (auto v = flagValue("--timeline-out=")) {
+            opts.timelineOut = *v;
+        } else if (auto v = flagValue("--metrics-out=")) {
+            opts.metricsOut = *v;
+        } else if (auto v = flagValue("--log-level=")) {
+            const auto level = parseLogLevel(*v);
+            if (!level) {
+                std::fprintf(stderr, "error: unknown log level '%s'\n",
+                             v->c_str());
+                return std::nullopt;
+            }
+            setLogLevel(*level);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "error: unknown flag '%s'\n",
+                         arg.c_str());
+            return std::nullopt;
+        } else {
+            rest.push_back(arg);
+        }
+    }
+    args = std::move(rest);
+    if (!opts.traceOut.empty() || !opts.timelineOut.empty())
+        obs::tracer().setEnabled(true);
+    return opts;
+}
+
+/** Write the requested trace/metrics artifacts after the command. */
+void
+writeObsOutputs(const ObsOptions& opts)
+{
+    if (!opts.traceOut.empty()) {
+        if (obs::tracer().writeChromeTrace(opts.traceOut))
+            inform("wrote trace to " + opts.traceOut);
+        else
+            warn("failed to write trace to " + opts.traceOut);
+    }
+    if (!opts.timelineOut.empty()) {
+        if (obs::tracer().writeTextTimeline(opts.timelineOut))
+            inform("wrote timeline to " + opts.timelineOut);
+        else
+            warn("failed to write timeline to " + opts.timelineOut);
+    }
+    if (!opts.metricsOut.empty()) {
+        if (obs::defaultRegistry().writeJson(opts.metricsOut))
+            inform("wrote metrics to " + opts.metricsOut);
+        else
+            warn("failed to write metrics to " + opts.metricsOut);
+    }
+    if (logLevel() >= LogLevel::Verbose) {
+        const std::string profile = obs::pipelineProfiler().toText();
+        if (!profile.empty())
+            verbose("pipeline phase profile:\n" + profile);
+    }
 }
 
 /** Parse "SIFT@40" into a bag member. */
@@ -155,23 +255,34 @@ cmdTree()
 int
 main(int argc, char** argv)
 {
-    if (argc < 2)
+    std::vector<std::string> args(argv + 1, argv + argc);
+    const auto opts = extractObsOptions(args);
+    if (!opts)
+        return 2;
+    if (args.empty())
         return usage();
-    const std::string cmd = argv[1];
+
+    const std::string cmd = args[0];
+    const std::size_t n = args.size();
+    int status = -1;
     try {
-        if (cmd == "collect" && argc == 3)
-            return cmdCollect(argv[2]);
-        if (cmd == "loocv")
-            return cmdLoocv(argc >= 3 ? argv[2] : "");
-        if (cmd == "predict" && argc == 4)
-            return cmdPredict(argv[2], argv[3]);
-        if (cmd == "trace" && argc == 5)
-            return cmdTrace(argv[2], argv[3], argv[4]);
-        if (cmd == "tree")
-            return cmdTree();
+        if (cmd == "collect" && n == 2)
+            status = cmdCollect(args[1]);
+        else if (cmd == "loocv" && n <= 2)
+            status = cmdLoocv(n >= 2 ? args[1] : "");
+        else if (cmd == "predict" && n == 3)
+            status = cmdPredict(args[1], args[2]);
+        else if (cmd == "trace" && n == 4)
+            status = cmdTrace(args[1], args[2], args[3]);
+        else if (cmd == "tree" && n == 1)
+            status = cmdTree();
     } catch (const FatalError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
+        writeObsOutputs(*opts);
         return 1;
     }
-    return usage();
+    if (status < 0)
+        return usage();
+    writeObsOutputs(*opts);
+    return status;
 }

@@ -4,14 +4,26 @@
  *  - panic()  — internal invariant broken (a MAPP bug); aborts.
  *  - fatal()  — user/configuration error; throws so callers and tests can
  *               observe it without killing the process.
- *  - warn()/inform() — advisory messages on stderr.
+ *  - warn()/inform()/verbose()/debug() — advisory messages on stderr.
+ *
+ * Verbosity tiers order Quiet < Normal < Verbose < Debug; a message
+ * prints when the global level is at least its tier (warnings always
+ * print). The startup level can be set without recompiling via the
+ * MAPP_LOG_LEVEL environment variable ("quiet", "normal", "verbose" or
+ * "debug"), read once at first use; setLogLevel() overrides it.
+ *
+ * All message functions are safe under concurrent callers: each call
+ * emits its fully formatted line in a single write, so lines from
+ * different threads never interleave.
  */
 
 #ifndef MAPP_COMMON_LOG_H
 #define MAPP_COMMON_LOG_H
 
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace mapp {
 
@@ -25,20 +37,26 @@ class FatalError : public std::runtime_error
     }
 };
 
-/** Log verbosity control for inform(); warnings always print. */
-enum class LogLevel { Quiet, Normal, Verbose };
+/** Log verbosity control; warnings always print. */
+enum class LogLevel { Quiet, Normal, Verbose, Debug };
 
-/** Set the global log level (default Normal). */
+/** Set the global log level (default Normal, or $MAPP_LOG_LEVEL). */
 void setLogLevel(LogLevel level);
 
 /** Get the global log level. */
 LogLevel logLevel();
 
+/** Parse "quiet"/"normal"/"verbose"/"debug" (case-insensitive). */
+std::optional<LogLevel> parseLogLevel(std::string_view name);
+
 /** Print an informational message (suppressed when Quiet). */
 void inform(const std::string& msg);
 
-/** Print a verbose diagnostic (only when Verbose). */
+/** Print a verbose diagnostic (only when Verbose or Debug). */
 void verbose(const std::string& msg);
+
+/** Print a fine-grained diagnostic (only when Debug). */
+void debug(const std::string& msg);
 
 /** Print a warning to stderr. */
 void warn(const std::string& msg);

@@ -5,6 +5,8 @@
 
 #include "common/log.h"
 #include "cpusim/memory_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mapp::cpusim {
 
@@ -57,6 +59,26 @@ MulticoreSim::runShared(const std::vector<const isa::WorkloadTrace*>& traces,
     const std::size_t maxEvents = 16 * 1024 * 1024;
     std::size_t events = 0;
 
+    // Tracing costs one branch per simulator event when disabled.
+    obs::Tracer& tracer = obs::tracer();
+    const bool tracing = tracer.enabled();
+    int trackPid = 0;
+    std::vector<Seconds> phaseStart(apps.size(), 0.0);
+    std::size_t lastResident = 0;
+    std::size_t repartitions = 0;
+    std::size_t phasesCompleted = 0;
+    if (tracing) {
+        std::string label = "cpusim bag:";
+        for (const auto& app : apps)
+            label += " " + app.trace->app();
+        trackPid = tracer.beginTrack(label);
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            tracer.nameThread(trackPid, static_cast<int>(i),
+                              "app " + std::to_string(i) + " (" +
+                                  apps[i].trace->app() + ")");
+        }
+    }
+
     while (true) {
         // Collect the active set.
         std::vector<std::size_t> active;
@@ -73,6 +95,21 @@ MulticoreSim::runShared(const std::vector<const isa::WorkloadTrace*>& traces,
         const int coresEach =
             std::max(config_.logicalCores() / n, 1);
         const Bytes llcEach = config_.llcSize / static_cast<Bytes>(n);
+
+        // The active set changed: cores and LLC are re-divided.
+        if (active.size() != lastResident) {
+            lastResident = active.size();
+            ++repartitions;
+            if (tracing) {
+                tracer.instantEvent(
+                    "re-partition", "cpusim.partition", clock * 1e6,
+                    trackPid, 0,
+                    {obs::TraceArg::num("residents", n),
+                     obs::TraceArg::num("cores_each", coresEach),
+                     obs::TraceArg::num("llc_bytes_each",
+                                        static_cast<double>(llcEach))});
+            }
+        }
 
         // Bandwidth negotiation over the current phases' demands.
         std::vector<CpuAllocation> allocs(active.size());
@@ -114,6 +151,20 @@ MulticoreSim::runShared(const std::vector<const isa::WorkloadTrace*>& traces,
         for (std::size_t k = 0; k < active.size(); ++k) {
             AppState& app = apps[active[k]];
             if (remaining[k] - dt <= durations[k] * 1e-12) {
+                ++phasesCompleted;
+                if (tracing) {
+                    const std::size_t i = active[k];
+                    tracer.completeEvent(
+                        app.currentPhase().name, "cpusim.phase",
+                        phaseStart[i] * 1e6,
+                        (clock - phaseStart[i]) * 1e6, trackPid,
+                        static_cast<int>(i),
+                        {obs::TraceArg::str("app", app.trace->app()),
+                         obs::TraceArg::num(
+                             "phase_index",
+                             static_cast<double>(app.phase))});
+                    phaseStart[i] = clock;
+                }
                 app.phase += 1;
                 app.phaseFraction = 0.0;
                 if (app.done())
@@ -122,6 +173,15 @@ MulticoreSim::runShared(const std::vector<const isa::WorkloadTrace*>& traces,
                 app.phaseFraction += dt / durations[k];
             }
         }
+    }
+
+    // Flush the run's counters in one batch.
+    {
+        auto& registry = obs::defaultRegistry();
+        registry.counter("cpusim.runs").add(1);
+        registry.counter("cpusim.sim_events").add(events);
+        registry.counter("cpusim.repartitions").add(repartitions);
+        registry.counter("cpusim.phases_completed").add(phasesCompleted);
     }
 
     BagCpuResult result;

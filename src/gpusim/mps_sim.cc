@@ -5,6 +5,8 @@
 
 #include "common/log.h"
 #include "common/sharing.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mapp::gpusim {
 
@@ -50,6 +52,27 @@ MpsSim::runShared(
     const std::size_t maxEvents = 16 * 1024 * 1024;
     std::size_t events = 0;
 
+    // Tracing costs one branch per simulator event when disabled; the
+    // per-client track is only allocated when a trace is being taken.
+    obs::Tracer& tracer = obs::tracer();
+    const bool tracing = tracer.enabled();
+    int trackPid = 0;
+    std::vector<Seconds> phaseStart(clients.size(), 0.0);
+    std::size_t lastResident = 0;
+    std::size_t repartitions = 0;
+    std::size_t phasesCompleted = 0;
+    if (tracing) {
+        std::string label = "gpusim bag:";
+        for (const auto& client : clients)
+            label += " " + client.trace->app();
+        trackPid = tracer.beginTrack(label);
+        for (std::size_t i = 0; i < clients.size(); ++i) {
+            tracer.nameThread(trackPid, static_cast<int>(i),
+                              "client " + std::to_string(i) + " (" +
+                                  clients[i].trace->app() + ")");
+        }
+    }
+
     while (true) {
         std::vector<std::size_t> active;
         for (std::size_t i = 0; i < clients.size(); ++i)
@@ -73,6 +96,22 @@ MpsSim::runShared(
             std::max(1.0 - config_.dramInterferenceLoss *
                                static_cast<double>(n - 1),
                      0.3);
+
+        // The resident set changed: MPS re-divides SMs, L2 and DRAM.
+        if (active.size() != lastResident) {
+            lastResident = active.size();
+            ++repartitions;
+            if (tracing) {
+                tracer.instantEvent(
+                    "re-partition", "gpusim.partition", clock * 1e6,
+                    trackPid, 0,
+                    {obs::TraceArg::num("residents", n),
+                     obs::TraceArg::num("sms_each", smsEach),
+                     obs::TraceArg::num("l2_bytes_each",
+                                        static_cast<double>(l2Each)),
+                     obs::TraceArg::num("peak_bw_gbps", peakBw / 1e9)});
+            }
+        }
 
         std::vector<GpuAllocation> allocs(active.size());
         std::vector<double> demands(active.size());
@@ -110,6 +149,20 @@ MpsSim::runShared(
         for (std::size_t k = 0; k < active.size(); ++k) {
             ClientState& client = clients[active[k]];
             if (remaining[k] - dt <= durations[k] * 1e-12) {
+                ++phasesCompleted;
+                if (tracing) {
+                    const std::size_t i = active[k];
+                    tracer.completeEvent(
+                        client.currentPhase().name, "gpusim.phase",
+                        phaseStart[i] * 1e6,
+                        (clock - phaseStart[i]) * 1e6, trackPid,
+                        static_cast<int>(i),
+                        {obs::TraceArg::str("app", client.trace->app()),
+                         obs::TraceArg::num(
+                             "phase_index",
+                             static_cast<double>(client.phase))});
+                    phaseStart[i] = clock;
+                }
                 client.phase += 1;
                 client.phaseFraction = 0.0;
                 if (client.done())
@@ -118,6 +171,16 @@ MpsSim::runShared(
                 client.phaseFraction += dt / durations[k];
             }
         }
+    }
+
+    // Flush the run's counters in one batch so the hot loop stays
+    // atomics-free.
+    {
+        auto& registry = obs::defaultRegistry();
+        registry.counter("gpusim.runs").add(1);
+        registry.counter("gpusim.sim_events").add(events);
+        registry.counter("gpusim.repartitions").add(repartitions);
+        registry.counter("gpusim.phases_completed").add(phasesCompleted);
     }
 
     BagGpuResult result;

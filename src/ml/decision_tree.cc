@@ -7,6 +7,8 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace mapp::ml {
 
@@ -54,6 +56,9 @@ DecisionTreeRegressor::fit(const std::vector<std::vector<double>>& rows,
     if (rows.empty() || rows.size() != targets.size())
         fatal("DecisionTreeRegressor::fit: empty or mismatched data");
 
+    auto& registry = obs::defaultRegistry();
+    const obs::ScopedTimer timer(registry, "ml.tree.fit_seconds");
+
     nodes_.clear();
     if (feature_names.empty())
         feature_names.assign(rows.front().size(), "");
@@ -62,6 +67,11 @@ DecisionTreeRegressor::fit(const std::vector<std::vector<double>>& rows,
     std::vector<std::size_t> indices(rows.size());
     std::iota(indices.begin(), indices.end(), std::size_t{0});
     buildNode(rows, targets, indices, 0);
+
+    registry.counter("ml.tree.fits").add(1);
+    registry.counter("ml.tree.nodes_built").add(nodes_.size());
+    registry.gauge("ml.tree.last_depth")
+        .set(static_cast<double>(depth()));
 }
 
 int

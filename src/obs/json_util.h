@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal JSON string/number formatting shared by the metrics and trace
+ * exporters. Writing only — the observability layer emits JSON for
+ * external viewers (Perfetto, dashboards) but never parses it.
+ */
+
+#ifndef MAPP_OBS_JSON_UTIL_H
+#define MAPP_OBS_JSON_UTIL_H
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace mapp::obs {
+
+/** Append @p text as a quoted, escaped JSON string. */
+inline void
+appendJsonString(std::string& out, std::string_view text)
+{
+    out += '"';
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+/** Append @p v as a JSON number (non-finite values become 0). */
+inline void
+appendJsonNumber(std::string& out, double v)
+{
+    if (!std::isfinite(v))
+        v = 0.0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+}  // namespace mapp::obs
+
+#endif  // MAPP_OBS_JSON_UTIL_H

@@ -1,0 +1,238 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/log.h"
+#include "obs/json_util.h"
+
+namespace mapp::obs {
+
+namespace {
+
+/** Lock-free add for pre-C++20-hardware atomic doubles. */
+void
+atomicAdd(std::atomic<double>& target, double v)
+{
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + v,
+                                         std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1)
+{
+    if (bounds_.empty())
+        fatal("Histogram: at least one bucket bound required");
+    if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+        std::adjacent_find(bounds_.begin(), bounds_.end()) !=
+            bounds_.end()) {
+        fatal("Histogram: bucket bounds must be strictly ascending");
+    }
+}
+
+void
+Histogram::observe(double v)
+{
+    const auto it =
+        std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const auto idx =
+        static_cast<std::size_t>(it - bounds_.begin());
+    counts_[idx].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomicAdd(sum_, v);
+}
+
+std::vector<std::uint64_t>
+Histogram::bucketCounts() const
+{
+    std::vector<std::uint64_t> out;
+    out.reserve(counts_.size());
+    for (const auto& c : counts_)
+        out.push_back(c.load(std::memory_order_relaxed));
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    for (auto& c : counts_)
+        c.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double>
+defaultTimeBucketBounds()
+{
+    // Powers of four from 1 µs to ~67 s: wide enough for both
+    // microsecond kernel phases and minute-long campaigns.
+    std::vector<double> bounds;
+    double b = 1e-6;
+    for (int i = 0; i < 13; ++i) {
+        bounds.push_back(b);
+        b *= 4.0;
+    }
+    return bounds;
+}
+
+Counter&
+Registry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+        it = counters_
+                 .emplace(std::string(name), std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Gauge&
+Registry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+        it = gauges_
+                 .emplace(std::string(name), std::make_unique<Gauge>())
+                 .first;
+    }
+    return *it->second;
+}
+
+Histogram&
+Registry::histogram(std::string_view name,
+                    std::vector<double> upper_bounds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        if (upper_bounds.empty())
+            upper_bounds = defaultTimeBucketBounds();
+        it = histograms_
+                 .emplace(std::string(name), std::make_unique<Histogram>(
+                                                 std::move(upper_bounds)))
+                 .first;
+    }
+    return *it->second;
+}
+
+RegistrySnapshot
+Registry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    RegistrySnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_)
+        snap.counters.emplace_back(name, c->value());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_)
+        snap.gauges.emplace_back(name, g->value());
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+        HistogramSnapshot hs;
+        hs.name = name;
+        hs.bounds = h->bucketBounds();
+        hs.counts = h->bucketCounts();
+        hs.count = h->count();
+        hs.sum = h->sum();
+        snap.histograms.push_back(std::move(hs));
+    }
+    return snap;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [name, c] : counters_)
+        c->reset();
+    for (auto& [name, g] : gauges_)
+        g->reset();
+    for (auto& [name, h] : histograms_)
+        h->reset();
+}
+
+std::string
+RegistrySnapshot::toJson() const
+{
+    std::string out;
+    out += "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : counters) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonString(out, name);
+        out += ": ";
+        out += std::to_string(value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : gauges) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonString(out, name);
+        out += ": ";
+        appendJsonNumber(out, value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto& h : histograms) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonString(out, h.name);
+        out += ": {\"count\": " + std::to_string(h.count) + ", \"sum\": ";
+        appendJsonNumber(out, h.sum);
+        out += ", \"mean\": ";
+        appendJsonNumber(out, h.mean());
+        out += ", \"bounds\": [";
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            appendJsonNumber(out, h.bounds[i]);
+        }
+        out += "], \"buckets\": [";
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += std::to_string(h.counts[i]);
+        }
+        out += "]}";
+    }
+    out += first ? "}\n}\n" : "\n  }\n}\n";
+    return out;
+}
+
+std::string
+Registry::toJson() const
+{
+    return snapshot().toJson();
+}
+
+bool
+Registry::writeJson(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toJson();
+    return static_cast<bool>(out);
+}
+
+Registry&
+defaultRegistry()
+{
+    static Registry instance;
+    return instance;
+}
+
+}  // namespace mapp::obs

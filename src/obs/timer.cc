@@ -1,0 +1,123 @@
+#include "obs/timer.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+#include "obs/trace.h"
+
+namespace mapp::obs {
+
+void
+PhaseProfiler::enter(std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = current_->children.find(name);
+    if (it == current_->children.end()) {
+        auto node = std::make_unique<Node>();
+        node->name = std::string(name);
+        node->parent = current_;
+        it = current_->children.emplace(node->name, std::move(node))
+                 .first;
+    }
+    current_ = it->second.get();
+}
+
+void
+PhaseProfiler::exit(double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (current_ == &root_)
+        panic("PhaseProfiler::exit: no phase entered");
+    current_->seconds += seconds;
+    current_->count += 1;
+    current_ = current_->parent;
+}
+
+void
+PhaseProfiler::copyTree(const Node& from, PhaseReport& to)
+{
+    to.name = from.name;
+    to.seconds = from.seconds;
+    to.count = from.count;
+    to.children.reserve(from.children.size());
+    for (const auto& [name, child] : from.children) {
+        to.children.emplace_back();
+        copyTree(*child, to.children.back());
+    }
+}
+
+PhaseProfiler::PhaseReport
+PhaseProfiler::report() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    PhaseReport out;
+    copyTree(root_, out);
+    return out;
+}
+
+namespace {
+
+void
+renderReport(const PhaseProfiler::PhaseReport& node, int depth,
+             std::string& out)
+{
+    if (depth >= 0) {  // skip the unnamed root
+        char line[160];
+        std::snprintf(line, sizeof(line), "%*s%-32s %12.6f s  x%llu\n",
+                      depth * 2, "", node.name.c_str(), node.seconds,
+                      static_cast<unsigned long long>(node.count));
+        out += line;
+    }
+    for (const auto& child : node.children)
+        renderReport(child, depth + 1, out);
+}
+
+}  // namespace
+
+std::string
+PhaseProfiler::toText() const
+{
+    std::string out;
+    renderReport(report(), -1, out);
+    return out;
+}
+
+void
+PhaseProfiler::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    root_.children.clear();
+    root_.seconds = 0.0;
+    root_.count = 0;
+    current_ = &root_;
+}
+
+PhaseProfiler&
+pipelineProfiler()
+{
+    static PhaseProfiler instance;
+    return instance;
+}
+
+ScopedPhase::ScopedPhase(PhaseProfiler& profiler, std::string_view name)
+    : profiler_(profiler), name_(name)
+{
+    profiler_.enter(name_);
+    if (tracer().enabled())
+        startUs_ = tracer().wallTimeUs();
+}
+
+ScopedPhase::~ScopedPhase()
+{
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    profiler_.exit(seconds);
+    Tracer& tr = tracer();
+    if (tr.enabled()) {
+        tr.completeEvent(name_, "pipeline", startUs_, seconds * 1e6,
+                         kPipelineTrackPid, 0);
+    }
+}
+
+}  // namespace mapp::obs

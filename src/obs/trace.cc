@@ -1,0 +1,285 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json_util.h"
+
+namespace mapp::obs {
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+std::size_t
+Tracer::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+int
+Tracer::beginTrack(const std::string& name)
+{
+    const int pid = nextPid_.fetch_add(1, std::memory_order_relaxed);
+    TraceEvent e;
+    e.name = "process_name";
+    e.kind = TraceEventKind::Metadata;
+    e.pid = pid;
+    e.args.push_back(TraceArg::str("name", name));
+    record(std::move(e));
+    return pid;
+}
+
+void
+Tracer::nameThread(int pid, int tid, const std::string& name)
+{
+    TraceEvent e;
+    e.name = "thread_name";
+    e.kind = TraceEventKind::Metadata;
+    e.pid = pid;
+    e.tid = tid;
+    e.args.push_back(TraceArg::str("name", name));
+    record(std::move(e));
+}
+
+void
+Tracer::completeEvent(std::string name, std::string category,
+                      double ts_us, double dur_us, int pid, int tid,
+                      std::vector<TraceArg> args)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = std::move(name);
+    e.category = std::move(category);
+    e.kind = TraceEventKind::Complete;
+    e.tsUs = ts_us;
+    e.durUs = dur_us;
+    e.pid = pid;
+    e.tid = tid;
+    e.args = std::move(args);
+    record(std::move(e));
+}
+
+void
+Tracer::instantEvent(std::string name, std::string category,
+                     double ts_us, int pid, int tid,
+                     std::vector<TraceArg> args)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = std::move(name);
+    e.category = std::move(category);
+    e.kind = TraceEventKind::Instant;
+    e.tsUs = ts_us;
+    e.pid = pid;
+    e.tid = tid;
+    e.args = std::move(args);
+    record(std::move(e));
+}
+
+void
+Tracer::counterEvent(std::string name, double ts_us, int pid,
+                     std::vector<TraceArg> values)
+{
+    if (!enabled())
+        return;
+    TraceEvent e;
+    e.name = std::move(name);
+    e.kind = TraceEventKind::Counter;
+    e.tsUs = ts_us;
+    e.pid = pid;
+    e.args = std::move(values);
+    record(std::move(e));
+}
+
+void
+Tracer::record(TraceEvent event)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+Tracer::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+double
+Tracer::wallTimeUs() const
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+namespace {
+
+char
+phaseLetter(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::Complete:
+        return 'X';
+      case TraceEventKind::Instant:
+        return 'i';
+      case TraceEventKind::Counter:
+        return 'C';
+      case TraceEventKind::Metadata:
+        return 'M';
+    }
+    return 'i';
+}
+
+void
+appendArgs(std::string& out, const std::vector<TraceArg>& args)
+{
+    out += "\"args\":{";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        appendJsonString(out, args[i].key);
+        out += ':';
+        if (args[i].numeric)
+            appendJsonNumber(out, args[i].number);
+        else
+            appendJsonString(out, args[i].text);
+    }
+    out += '}';
+}
+
+}  // namespace
+
+std::string
+Tracer::chromeTraceJson() const
+{
+    const auto events = snapshot();
+    std::string out;
+    out.reserve(events.size() * 96 + 64);
+    out += "{\"traceEvents\":[";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent& e = events[i];
+        if (i > 0)
+            out += ',';
+        out += "\n{\"name\":";
+        appendJsonString(out, e.name);
+        if (!e.category.empty()) {
+            out += ",\"cat\":";
+            appendJsonString(out, e.category);
+        }
+        out += ",\"ph\":\"";
+        out += phaseLetter(e.kind);
+        out += '"';
+        if (e.kind != TraceEventKind::Metadata) {
+            out += ",\"ts\":";
+            appendJsonNumber(out, e.tsUs);
+        }
+        if (e.kind == TraceEventKind::Complete) {
+            out += ",\"dur\":";
+            appendJsonNumber(out, e.durUs);
+        }
+        if (e.kind == TraceEventKind::Instant)
+            out += ",\"s\":\"t\"";
+        out += ",\"pid\":" + std::to_string(e.pid);
+        out += ",\"tid\":" + std::to_string(e.tid);
+        out += ',';
+        appendArgs(out, e.args);
+        out += '}';
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+std::string
+Tracer::textTimeline() const
+{
+    auto events = snapshot();
+    std::stable_sort(events.begin(), events.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.tsUs < b.tsUs;
+                     });
+
+    std::string out;
+    for (const TraceEvent& e : events) {
+        if (e.kind == TraceEventKind::Metadata)
+            continue;
+        char head[96];
+        std::snprintf(head, sizeof(head), "[%12.3f us] %d/%d ",
+                      e.tsUs, e.pid, e.tid);
+        out += head;
+        switch (e.kind) {
+          case TraceEventKind::Complete: {
+            char dur[48];
+            std::snprintf(dur, sizeof(dur), " (%.3f us)", e.durUs);
+            out += "span    " + e.name + dur;
+            break;
+          }
+          case TraceEventKind::Instant:
+            out += "instant " + e.name;
+            break;
+          case TraceEventKind::Counter:
+            out += "counter " + e.name;
+            break;
+          case TraceEventKind::Metadata:
+            break;
+        }
+        if (!e.args.empty()) {
+            out += " {";
+            for (std::size_t i = 0; i < e.args.size(); ++i) {
+                if (i > 0)
+                    out += ", ";
+                out += e.args[i].key + '=';
+                if (e.args[i].numeric) {
+                    char num[32];
+                    std::snprintf(num, sizeof(num), "%g",
+                                  e.args[i].number);
+                    out += num;
+                } else {
+                    out += e.args[i].text;
+                }
+            }
+            out += '}';
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+Tracer::writeChromeTrace(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << chromeTraceJson();
+    return static_cast<bool>(out);
+}
+
+bool
+Tracer::writeTextTimeline(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << textTimeline();
+    return static_cast<bool>(out);
+}
+
+Tracer&
+tracer()
+{
+    static Tracer instance;
+    return instance;
+}
+
+}  // namespace mapp::obs

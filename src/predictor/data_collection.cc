@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "profiler/mica.h"
 
 namespace mapp::predictor {
@@ -79,9 +81,15 @@ const AppFeatures&
 DataCollector::appFeatures(const BagMember& member)
 {
     auto it = featureCache_.find(member);
-    if (it != featureCache_.end())
+    if (it != featureCache_.end()) {
+        obs::defaultRegistry()
+            .counter("collector.feature_cache_hits")
+            .add(1);
         return it->second;
+    }
 
+    const obs::ScopedPhase phase("feature-extraction");
+    obs::defaultRegistry().counter("collector.feature_cache_misses").add(1);
     const auto& trace = vision::cachedTrace(member.id, member.batchSize);
     const auto mica = profiler::characterize(trace);
 
@@ -97,6 +105,7 @@ DataCollector::appFeatures(const BagMember& member)
 double
 DataCollector::measureFairness(const BagSpec& raw_spec)
 {
+    const obs::ScopedPhase phase("fairness-measurement");
     const BagSpec spec = raw_spec.canonical();
     const auto& traceA = vision::cachedTrace(spec.a.id, spec.a.batchSize);
     const auto& traceB = vision::cachedTrace(spec.b.id, spec.b.batchSize);
@@ -122,17 +131,26 @@ DataCollector::collect(const BagSpec& raw_spec)
     const auto& traceB = vision::cachedTrace(spec.b.id, spec.b.batchSize);
 
     // Fairness: the bag's CPU co-run vs. alone IPCs (Equation 2).
-    const auto cpuBag = cpu_.runShared(
-        {&traceA, &traceB}, {bestThreads(spec.a), bestThreads(spec.b)});
-    point.cpuSharedMakespan = cpuBag.makespan;
-    const std::vector<double> ipcShared{cpuBag.apps[0].ipc,
-                                        cpuBag.apps[1].ipc};
-    const std::vector<double> alone{ipcAlone(spec.a), ipcAlone(spec.b)};
-    point.fairness =
-        fairness(ipcShared, alone, params_.fairnessVariant);
+    {
+        const obs::ScopedPhase phase("fairness-measurement");
+        const auto cpuBag =
+            cpu_.runShared({&traceA, &traceB},
+                           {bestThreads(spec.a), bestThreads(spec.b)});
+        point.cpuSharedMakespan = cpuBag.makespan;
+        const std::vector<double> ipcShared{cpuBag.apps[0].ipc,
+                                            cpuBag.apps[1].ipc};
+        const std::vector<double> alone{ipcAlone(spec.a),
+                                        ipcAlone(spec.b)};
+        point.fairness =
+            fairness(ipcShared, alone, params_.fairnessVariant);
+    }
 
     // The target: the bag's GPU execution time under MPS.
-    point.gpuBagTime = gpu_.runShared({&traceA, &traceB}).makespan;
+    {
+        const obs::ScopedPhase phase("gpu-bag-measurement");
+        point.gpuBagTime = gpu_.runShared({&traceA, &traceB}).makespan;
+    }
+    obs::defaultRegistry().counter("collector.bags_collected").add(1);
     return point;
 }
 

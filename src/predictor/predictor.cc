@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "ml/metrics.h"
+#include "obs/timer.h"
 
 namespace mapp::predictor {
 
@@ -31,6 +32,7 @@ MultiAppPredictor::train(const ml::Dataset& raw)
 {
     if (raw.empty())
         fatal("MultiAppPredictor::train: empty dataset");
+    const obs::ScopedPhase phase("tree-training");
     const ml::Dataset prepared = projectAndNormalizeTrain(raw);
     trainLayout_ = ml::Dataset(prepared.featureNames());
     tree_.emplace(params_.tree);
@@ -105,6 +107,7 @@ MultiAppPredictor::looBenchmarkCv(const ml::Dataset& raw,
                                   const PredictorParams& params,
                                   const std::vector<std::string>& benchmarks)
 {
+    const obs::ScopedPhase phase("loocv");
     ml::CrossValidationResult result;
     for (const auto& bench : benchmarks) {
         auto [train, test] = splitOutBenchmark(raw, bench);

@@ -4,8 +4,28 @@
 #include <limits>
 
 #include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mapp::predictor {
+
+namespace {
+
+/** Record one pairing decision on the scheduler's trace track. */
+void
+tracePairing(const char* policy, const ScheduledBag& bag)
+{
+    obs::Tracer& tracer = obs::tracer();
+    if (!tracer.enabled())
+        return;
+    tracer.instantEvent(
+        "pair " + bag.spec.label(), "scheduler.pairing",
+        tracer.wallTimeUs(), obs::kSchedulerTrackPid, 0,
+        {obs::TraceArg::str("policy", policy),
+         obs::TraceArg::num("predicted_seconds", bag.predictedSeconds)});
+}
+
+}  // namespace
 
 CoScheduler::CoScheduler(const MultiAppPredictor& model,
                          DataCollector& collector)
@@ -148,13 +168,22 @@ Schedule
 CoScheduler::schedule(const std::vector<BagMember>& jobs,
                       PairingPolicy policy) const
 {
+    const auto run = [&](const char* name, Schedule s) {
+        obs::defaultRegistry().counter("scheduler.schedules").add(1);
+        obs::defaultRegistry()
+            .counter("scheduler.bags_paired")
+            .add(s.bags.size());
+        for (const auto& bag : s.bags)
+            tracePairing(name, bag);
+        return s;
+    };
     switch (policy) {
       case PairingPolicy::Fifo:
-        return pairFifo(jobs);
+        return run("fifo", pairFifo(jobs));
       case PairingPolicy::Greedy:
-        return pairGreedy(jobs);
+        return run("greedy", pairGreedy(jobs));
       case PairingPolicy::Exhaustive:
-        return pairExhaustive(jobs);
+        return run("exhaustive", pairExhaustive(jobs));
     }
     panic("CoScheduler::schedule: invalid policy");
 }

@@ -3,11 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+
 #include "common/log.h"
 #include "gpusim/l2_model.h"
 #include "gpusim/mps_sim.h"
 #include "gpusim/sm_model.h"
 #include "gpusim/tlb_model.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -237,6 +240,51 @@ TEST(MpsSim, EmptyBagIsFatal)
 {
     MpsSim sim;
     EXPECT_THROW(sim.runShared({}), FatalError);
+}
+
+TEST(MpsSim, TracedBagEmitsRepartitionsAndExactPhaseSpans)
+{
+    obs::Tracer& tracer = obs::tracer();
+    tracer.clear();
+    tracer.setEnabled(true);
+
+    MpsSim sim;
+    isa::WorkloadTrace small("S", 1);
+    small.append(gpuComputePhase(1'000'000));
+    small.append(gpuMemoryPhase(1'000'000));
+    isa::WorkloadTrace big("B", 1);
+    big.append(gpuComputePhase(50'000'000));
+    big.append(gpuMemoryPhase(20'000'000));
+    const auto bag = sim.runShared({&small, &big});
+
+    const auto events = tracer.snapshot();
+    tracer.setEnabled(false);
+    tracer.clear();
+
+    // The 2-client bag re-partitions at least once: the initial split
+    // plus the shrink to one resident when the small client finishes.
+    int repartitions = 0;
+    std::map<int, double> spanSumUs;  // tid -> total span time
+    for (const auto& e : events) {
+        if (e.kind == obs::TraceEventKind::Instant &&
+            e.name == "re-partition")
+            ++repartitions;
+        if (e.kind == obs::TraceEventKind::Complete &&
+            e.category == "gpusim.phase")
+            spanSumUs[e.tid] += e.durUs;
+    }
+    EXPECT_GE(repartitions, 1);
+    EXPECT_EQ(repartitions, 2);
+
+    // Each client's kernel-phase spans tile its timeline exactly: their
+    // durations sum to the client's reported completion time.
+    ASSERT_EQ(spanSumUs.size(), 2u);
+    for (std::size_t i = 0; i < bag.apps.size(); ++i) {
+        const double reportedUs = bag.apps[i].time * 1e6;
+        ASSERT_TRUE(spanSumUs.count(static_cast<int>(i)));
+        EXPECT_NEAR(spanSumUs[static_cast<int>(i)], reportedUs,
+                    reportedUs * 1e-9);
+    }
 }
 
 TEST(MpsSim, HeterogeneousMakespanIsMax)

@@ -1,0 +1,591 @@
+/** @file Unit tests for the observability layer: metrics registry,
+ * scoped timers, phase profiler and the Chrome-trace event tracer. */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace mapp;
+
+// ---------------------------------------------------------------------------
+// A tiny validating JSON parser: enough to parse back what the obs layer
+// emits (objects, arrays, strings with escapes, numbers, bools, null) and
+// fail loudly on malformed output.
+
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;
+    std::map<std::string, JsonValue> fields;
+
+    bool has(const std::string& key) const
+    {
+        return fields.find(key) != fields.end();
+    }
+    const JsonValue& at(const std::string& key) const
+    {
+        return fields.at(key);
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : text_(text) {}
+
+    JsonValue parse()
+    {
+        const JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& why)
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    JsonValue parseValue()
+    {
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n')
+            return parseNull();
+        return parseNumber();
+    }
+
+    JsonValue parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            const JsonValue key = parseString();
+            expect(':');
+            v.fields[key.text] = parseValue();
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(parseValue());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                fail("expected ',' or ']' in array");
+        }
+    }
+
+    JsonValue parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                v.text += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("dangling escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                v.text += '"';
+                break;
+              case '\\':
+                v.text += '\\';
+                break;
+              case '/':
+                v.text += '/';
+                break;
+              case 'n':
+                v.text += '\n';
+                break;
+              case 'r':
+                v.text += '\r';
+                break;
+              case 't':
+                v.text += '\t';
+                break;
+              case 'b':
+                v.text += '\b';
+                break;
+              case 'f':
+                v.text += '\f';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("short \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                v.text += static_cast<char>(code < 128 ? code : '?');
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue parseBool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue parseNull()
+    {
+        if (text_.compare(pos_, 4, "null") != 0)
+            fail("bad literal");
+        pos_ += 4;
+        return JsonValue{};
+    }
+
+    JsonValue parseNumber()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a number");
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = std::stod(text_.substr(start, pos_ - start));
+        return v;
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(Registry, CounterCreateIncrementSnapshotReset)
+{
+    obs::Registry reg;
+    obs::Counter& c = reg.counter("widgets");
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+
+    // Same name resolves to the same instrument.
+    reg.counter("widgets").add(8);
+    EXPECT_EQ(c.value(), 50u);
+
+    const auto snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].first, "widgets");
+    EXPECT_EQ(snap.counters[0].second, 50u);
+
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+    // Reset keeps the instrument registered.
+    EXPECT_EQ(reg.snapshot().counters.size(), 1u);
+}
+
+TEST(Registry, GaugeLastWriteWins)
+{
+    obs::Registry reg;
+    reg.gauge("depth").set(3.0);
+    reg.gauge("depth").set(5.5);
+    EXPECT_DOUBLE_EQ(reg.gauge("depth").value(), 5.5);
+}
+
+TEST(Registry, HistogramBucketEdges)
+{
+    obs::Registry reg;
+    obs::Histogram& h = reg.histogram("lat", {1.0, 2.0, 4.0});
+
+    // Bucket i counts v <= bounds[i]: the edge lands in its own bucket.
+    h.observe(0.5);
+    h.observe(1.0);   // exactly the first bound
+    h.observe(1.01);  // just past it
+    h.observe(4.0);   // exactly the last bound
+    h.observe(100.0);  // overflow
+
+    const auto counts = h.bucketCounts();
+    ASSERT_EQ(counts.size(), 4u);
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[1], 1u);
+    EXPECT_EQ(counts[2], 1u);
+    EXPECT_EQ(counts[3], 1u);
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.01 + 4.0 + 100.0);
+}
+
+TEST(Registry, HistogramRejectsMalformedBounds)
+{
+    obs::Registry reg;
+    EXPECT_THROW(reg.histogram("bad", {2.0, 1.0}), FatalError);
+    EXPECT_THROW(reg.histogram("dup", {1.0, 1.0}), FatalError);
+}
+
+TEST(Registry, ConcurrentCountersAreExact)
+{
+    obs::Registry reg;
+    obs::Counter& c = reg.counter("hits");
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 10'000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kIncrements; ++i)
+                c.add();
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(c.value(),
+              static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(Registry, JsonSnapshotParses)
+{
+    obs::Registry reg;
+    reg.counter("a.count").add(7);
+    reg.gauge("b.gauge").set(-2.25);
+    reg.histogram("c.hist", {1.0, 10.0}).observe(3.0);
+
+    const JsonValue doc = JsonParser(reg.toJson()).parse();
+    EXPECT_DOUBLE_EQ(doc.at("counters").at("a.count").number, 7.0);
+    EXPECT_DOUBLE_EQ(doc.at("gauges").at("b.gauge").number, -2.25);
+    const JsonValue& hist = doc.at("histograms").at("c.hist");
+    EXPECT_DOUBLE_EQ(hist.at("count").number, 1.0);
+    EXPECT_DOUBLE_EQ(hist.at("sum").number, 3.0);
+    ASSERT_EQ(hist.at("buckets").items.size(), 3u);
+    EXPECT_DOUBLE_EQ(hist.at("buckets").items[1].number, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Timers and the phase profiler
+
+TEST(ScopedTimer, AccumulatesIntoHistogram)
+{
+    obs::Registry reg;
+    obs::Histogram& h = reg.histogram("op_seconds");
+    for (int i = 0; i < 3; ++i) {
+        obs::ScopedTimer timer(h);
+        // A little busy-work so elapsed time is strictly positive.
+        volatile double sink = 0.0;
+        for (int k = 0; k < 1000; ++k)
+            sink = sink + k;
+    }
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_GT(h.sum(), 0.0);
+}
+
+TEST(ScopedTimer, CancelSuppressesRecording)
+{
+    obs::Registry reg;
+    obs::Histogram& h = reg.histogram("op_seconds");
+    {
+        obs::ScopedTimer timer(h);
+        timer.cancel();
+    }
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(PhaseProfiler, BuildsHierarchyAndMergesRepeats)
+{
+    obs::PhaseProfiler profiler;
+    for (int i = 0; i < 2; ++i) {
+        profiler.enter("loocv");
+        profiler.enter("tree-training");
+        profiler.exit(0.25);
+        profiler.exit(1.0);
+    }
+
+    const auto report = profiler.report();
+    ASSERT_EQ(report.children.size(), 1u);
+    const auto& loocv = report.children[0];
+    EXPECT_EQ(loocv.name, "loocv");
+    EXPECT_EQ(loocv.count, 2u);
+    EXPECT_DOUBLE_EQ(loocv.seconds, 2.0);
+    ASSERT_EQ(loocv.children.size(), 1u);
+    EXPECT_EQ(loocv.children[0].name, "tree-training");
+    EXPECT_EQ(loocv.children[0].count, 2u);
+    EXPECT_DOUBLE_EQ(loocv.children[0].seconds, 0.5);
+
+    const std::string text = profiler.toText();
+    EXPECT_NE(text.find("loocv"), std::string::npos);
+    EXPECT_NE(text.find("tree-training"), std::string::npos);
+
+    profiler.reset();
+    EXPECT_TRUE(profiler.report().children.empty());
+}
+
+TEST(PhaseProfiler, ScopedPhaseNests)
+{
+    obs::PhaseProfiler profiler;
+    {
+        obs::ScopedPhase outer(profiler, "outer");
+        obs::ScopedPhase inner(profiler, "inner");
+    }
+    const auto report = profiler.report();
+    ASSERT_EQ(report.children.size(), 1u);
+    EXPECT_EQ(report.children[0].name, "outer");
+    ASSERT_EQ(report.children[0].children.size(), 1u);
+    EXPECT_EQ(report.children[0].children[0].name, "inner");
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+TEST(Tracer, DisabledRecordsNothing)
+{
+    obs::Tracer tracer;
+    ASSERT_FALSE(tracer.enabled());
+    for (int i = 0; i < 1000; ++i) {
+        tracer.completeEvent("phase", "cat", i, 1.0, 1, 0);
+        tracer.instantEvent("mark", "cat", i, 1, 0);
+    }
+    // Zero-overhead smoke check: a disabled tracer stores no events and
+    // its export is an empty (but valid) document.
+    EXPECT_EQ(tracer.size(), 0u);
+    const JsonValue doc =
+        JsonParser(tracer.chromeTraceJson()).parse();
+    EXPECT_TRUE(doc.at("traceEvents").items.empty());
+}
+
+TEST(Tracer, ChromeTraceJsonRoundTrips)
+{
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+
+    const int pid = tracer.beginTrack("gpusim bag: \"A\"+B\\slash");
+    tracer.nameThread(pid, 0, "client 0");
+    tracer.completeEvent(
+        "kernel \"phase\"\nwith newline", "gpusim.phase", 10.0, 32.5,
+        pid, 0,
+        {obs::TraceArg::str("app", "SIFT"),
+         obs::TraceArg::num("phase_index", 3.0)});
+    tracer.instantEvent("re-partition", "gpusim.partition", 42.5, pid, 0,
+                        {obs::TraceArg::num("residents", 2.0)});
+    tracer.counterEvent("bandwidth", 50.0, pid,
+                        {obs::TraceArg::num("gbps", 123.5)});
+
+    const std::string json = tracer.chromeTraceJson();
+    const JsonValue doc = JsonParser(json).parse();
+    const auto& events = doc.at("traceEvents").items;
+    ASSERT_EQ(events.size(), 5u);
+
+    // Every event has the Chrome-trace required fields.
+    for (const auto& e : events) {
+        EXPECT_TRUE(e.has("name"));
+        EXPECT_TRUE(e.has("ph"));
+        EXPECT_TRUE(e.has("pid"));
+        EXPECT_TRUE(e.has("tid"));
+    }
+
+    const auto& span = events[2];
+    EXPECT_EQ(span.at("ph").text, "X");
+    EXPECT_EQ(span.at("name").text, "kernel \"phase\"\nwith newline");
+    EXPECT_DOUBLE_EQ(span.at("ts").number, 10.0);
+    EXPECT_DOUBLE_EQ(span.at("dur").number, 32.5);
+    EXPECT_EQ(span.at("args").at("app").text, "SIFT");
+    EXPECT_DOUBLE_EQ(span.at("args").at("phase_index").number, 3.0);
+
+    const auto& instant = events[3];
+    EXPECT_EQ(instant.at("ph").text, "i");
+    EXPECT_DOUBLE_EQ(instant.at("args").at("residents").number, 2.0);
+
+    const auto& meta = events[0];
+    EXPECT_EQ(meta.at("ph").text, "M");
+    EXPECT_EQ(meta.at("args").at("name").text,
+              "gpusim bag: \"A\"+B\\slash");
+}
+
+TEST(Tracer, WriteChromeTraceFileParsesBack)
+{
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    const int pid = tracer.beginTrack("test track");
+    tracer.completeEvent("work", "cat", 0.0, 5.0, pid, 0);
+
+    const std::string path = ::testing::TempDir() + "mapp_obs_trace.json";
+    ASSERT_TRUE(tracer.writeChromeTrace(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const JsonValue doc = JsonParser(buffer.str()).parse();
+    EXPECT_EQ(doc.at("traceEvents").items.size(), 2u);
+    std::remove(path.c_str());
+}
+
+TEST(Tracer, TextTimelineSortedAndAnnotated)
+{
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    const int pid = tracer.beginTrack("track");
+    tracer.instantEvent("late", "cat", 100.0, pid, 0);
+    tracer.completeEvent("early", "cat", 1.0, 2.0, pid, 0,
+                         {obs::TraceArg::str("app", "FAST")});
+
+    const std::string text = tracer.textTimeline();
+    const auto early = text.find("early");
+    const auto late = text.find("late");
+    ASSERT_NE(early, std::string::npos);
+    ASSERT_NE(late, std::string::npos);
+    EXPECT_LT(early, late);  // sorted by timestamp despite record order
+    EXPECT_NE(text.find("app=FAST"), std::string::npos);
+}
+
+TEST(Tracer, ClearDropsEventsButKeepsEnabled)
+{
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.instantEvent("mark", "cat", 0.0, 1, 0);
+    EXPECT_EQ(tracer.size(), 1u);
+    tracer.clear();
+    EXPECT_EQ(tracer.size(), 0u);
+    EXPECT_TRUE(tracer.enabled());
+}
+
+// ---------------------------------------------------------------------------
+// Logging satellites
+
+TEST(Log, ParseLogLevel)
+{
+    EXPECT_EQ(parseLogLevel("quiet"), LogLevel::Quiet);
+    EXPECT_EQ(parseLogLevel("NORMAL"), LogLevel::Normal);
+    EXPECT_EQ(parseLogLevel("Verbose"), LogLevel::Verbose);
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+    EXPECT_FALSE(parseLogLevel("loud").has_value());
+}
+
+TEST(Log, DebugTierOrdering)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Verbose);
+    EXPECT_NO_THROW(debug("suppressed at verbose"));
+    setLogLevel(LogLevel::Debug);
+    EXPECT_NO_THROW(debug("printed at debug"));
+    EXPECT_NO_THROW(verbose("also printed at debug"));
+    setLogLevel(before);
+}
+
+TEST(Log, ConcurrentWritersDoNotCrash)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Quiet);  // exercise the path, keep output clean
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([t] {
+            for (int i = 0; i < 100; ++i) {
+                inform("i" + std::to_string(i));
+                if (i == 0)
+                    warn("concurrent writer " + std::to_string(t));
+            }
+        });
+    }
+    for (auto& t : threads)
+        t.join();
+    setLogLevel(before);
+}
+
+}  // namespace
