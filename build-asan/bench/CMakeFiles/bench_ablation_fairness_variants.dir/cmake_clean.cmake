@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fairness_variants.dir/bench_ablation_fairness_variants.cc.o"
+  "CMakeFiles/bench_ablation_fairness_variants.dir/bench_ablation_fairness_variants.cc.o.d"
+  "bench_ablation_fairness_variants"
+  "bench_ablation_fairness_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fairness_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_thread_config.dir/bench_ablation_thread_config.cc.o"
+  "CMakeFiles/bench_ablation_thread_config.dir/bench_ablation_thread_config.cc.o.d"
+  "bench_ablation_thread_config"
+  "bench_ablation_thread_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_thread_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

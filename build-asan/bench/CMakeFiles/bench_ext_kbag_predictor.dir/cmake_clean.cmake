@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_kbag_predictor.dir/bench_ext_kbag_predictor.cc.o"
+  "CMakeFiles/bench_ext_kbag_predictor.dir/bench_ext_kbag_predictor.cc.o.d"
+  "bench_ext_kbag_predictor"
+  "bench_ext_kbag_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_kbag_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

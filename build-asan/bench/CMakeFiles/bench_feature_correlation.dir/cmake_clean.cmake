@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feature_correlation.dir/bench_feature_correlation.cc.o"
+  "CMakeFiles/bench_feature_correlation.dir/bench_feature_correlation.cc.o.d"
+  "bench_feature_correlation"
+  "bench_feature_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feature_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

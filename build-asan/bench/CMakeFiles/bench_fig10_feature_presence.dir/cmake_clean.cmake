@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_feature_presence.dir/bench_fig10_feature_presence.cc.o"
+  "CMakeFiles/bench_fig10_feature_presence.dir/bench_fig10_feature_presence.cc.o.d"
+  "bench_fig10_feature_presence"
+  "bench_fig10_feature_presence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_feature_presence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_feature_radar.dir/bench_fig11_feature_radar.cc.o"
+  "CMakeFiles/bench_fig11_feature_radar.dir/bench_fig11_feature_radar.cc.o.d"
+  "bench_fig11_feature_radar"
+  "bench_fig11_feature_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_feature_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

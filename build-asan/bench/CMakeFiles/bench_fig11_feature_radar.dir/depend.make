@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_feature_radar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_cpu_scaling.dir/bench_fig1_cpu_scaling.cc.o"
+  "CMakeFiles/bench_fig1_cpu_scaling.dir/bench_fig1_cpu_scaling.cc.o.d"
+  "bench_fig1_cpu_scaling"
+  "bench_fig1_cpu_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_cpu_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_gpu_cpu_ratio.dir/bench_fig3_gpu_cpu_ratio.cc.o"
+  "CMakeFiles/bench_fig3_gpu_cpu_ratio.dir/bench_fig3_gpu_cpu_ratio.cc.o.d"
+  "bench_fig3_gpu_cpu_ratio"
+  "bench_fig3_gpu_cpu_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_gpu_cpu_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_loocv.dir/bench_fig4_loocv.cc.o"
+  "CMakeFiles/bench_fig4_loocv.dir/bench_fig4_loocv.cc.o.d"
+  "bench_fig4_loocv"
+  "bench_fig4_loocv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_loocv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_effect_insmix.dir/bench_fig8_effect_insmix.cc.o"
+  "CMakeFiles/bench_fig8_effect_insmix.dir/bench_fig8_effect_insmix.cc.o.d"
+  "bench_fig8_effect_insmix"
+  "bench_fig8_effect_insmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_effect_insmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_effect_fairness.cc" "bench/CMakeFiles/bench_fig9_effect_fairness.dir/bench_fig9_effect_fairness.cc.o" "gcc" "bench/CMakeFiles/bench_fig9_effect_fairness.dir/bench_fig9_effect_fairness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/predictor/CMakeFiles/mapp_predictor.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ml/CMakeFiles/mapp_ml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cpusim/CMakeFiles/mapp_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/gpusim/CMakeFiles/mapp_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vision/CMakeFiles/mapp_vision.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/profiler/CMakeFiles/mapp_profiler.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/mapp_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/mapp_common.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/mapp_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

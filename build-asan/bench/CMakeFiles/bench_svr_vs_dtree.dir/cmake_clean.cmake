@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_svr_vs_dtree.dir/bench_svr_vs_dtree.cc.o"
+  "CMakeFiles/bench_svr_vs_dtree.dir/bench_svr_vs_dtree.cc.o.d"
+  "bench_svr_vs_dtree"
+  "bench_svr_vs_dtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_svr_vs_dtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_server_scheduler.dir/edge_server_scheduler.cpp.o"
+  "CMakeFiles/edge_server_scheduler.dir/edge_server_scheduler.cpp.o.d"
+  "edge_server_scheduler"
+  "edge_server_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_server_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

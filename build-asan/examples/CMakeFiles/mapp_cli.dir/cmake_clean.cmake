@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapp_cli.dir/mapp_cli.cpp.o"
+  "CMakeFiles/mapp_cli.dir/mapp_cli.cpp.o.d"
+  "mapp_cli"
+  "mapp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("isa")
+subdirs("profiler")
+subdirs("vision")
+subdirs("cpusim")
+subdirs("gpusim")
+subdirs("ml")
+subdirs("predictor")

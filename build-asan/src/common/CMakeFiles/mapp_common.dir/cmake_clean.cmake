@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapp_common.dir/csv.cc.o"
+  "CMakeFiles/mapp_common.dir/csv.cc.o.d"
+  "CMakeFiles/mapp_common.dir/log.cc.o"
+  "CMakeFiles/mapp_common.dir/log.cc.o.d"
+  "CMakeFiles/mapp_common.dir/matrix.cc.o"
+  "CMakeFiles/mapp_common.dir/matrix.cc.o.d"
+  "CMakeFiles/mapp_common.dir/rng.cc.o"
+  "CMakeFiles/mapp_common.dir/rng.cc.o.d"
+  "CMakeFiles/mapp_common.dir/sharing.cc.o"
+  "CMakeFiles/mapp_common.dir/sharing.cc.o.d"
+  "CMakeFiles/mapp_common.dir/stats.cc.o"
+  "CMakeFiles/mapp_common.dir/stats.cc.o.d"
+  "CMakeFiles/mapp_common.dir/table.cc.o"
+  "CMakeFiles/mapp_common.dir/table.cc.o.d"
+  "libmapp_common.a"
+  "libmapp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpusim/cache_model.cc" "src/cpusim/CMakeFiles/mapp_cpusim.dir/cache_model.cc.o" "gcc" "src/cpusim/CMakeFiles/mapp_cpusim.dir/cache_model.cc.o.d"
+  "/root/repo/src/cpusim/core_model.cc" "src/cpusim/CMakeFiles/mapp_cpusim.dir/core_model.cc.o" "gcc" "src/cpusim/CMakeFiles/mapp_cpusim.dir/core_model.cc.o.d"
+  "/root/repo/src/cpusim/memory_model.cc" "src/cpusim/CMakeFiles/mapp_cpusim.dir/memory_model.cc.o" "gcc" "src/cpusim/CMakeFiles/mapp_cpusim.dir/memory_model.cc.o.d"
+  "/root/repo/src/cpusim/multicore_sim.cc" "src/cpusim/CMakeFiles/mapp_cpusim.dir/multicore_sim.cc.o" "gcc" "src/cpusim/CMakeFiles/mapp_cpusim.dir/multicore_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/isa/CMakeFiles/mapp_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/mapp_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/mapp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

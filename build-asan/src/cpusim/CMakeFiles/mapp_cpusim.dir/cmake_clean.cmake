@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapp_cpusim.dir/cache_model.cc.o"
+  "CMakeFiles/mapp_cpusim.dir/cache_model.cc.o.d"
+  "CMakeFiles/mapp_cpusim.dir/core_model.cc.o"
+  "CMakeFiles/mapp_cpusim.dir/core_model.cc.o.d"
+  "CMakeFiles/mapp_cpusim.dir/memory_model.cc.o"
+  "CMakeFiles/mapp_cpusim.dir/memory_model.cc.o.d"
+  "CMakeFiles/mapp_cpusim.dir/multicore_sim.cc.o"
+  "CMakeFiles/mapp_cpusim.dir/multicore_sim.cc.o.d"
+  "libmapp_cpusim.a"
+  "libmapp_cpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapp_cpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/l2_model.cc" "src/gpusim/CMakeFiles/mapp_gpusim.dir/l2_model.cc.o" "gcc" "src/gpusim/CMakeFiles/mapp_gpusim.dir/l2_model.cc.o.d"
+  "/root/repo/src/gpusim/mps_sim.cc" "src/gpusim/CMakeFiles/mapp_gpusim.dir/mps_sim.cc.o" "gcc" "src/gpusim/CMakeFiles/mapp_gpusim.dir/mps_sim.cc.o.d"
+  "/root/repo/src/gpusim/sm_model.cc" "src/gpusim/CMakeFiles/mapp_gpusim.dir/sm_model.cc.o" "gcc" "src/gpusim/CMakeFiles/mapp_gpusim.dir/sm_model.cc.o.d"
+  "/root/repo/src/gpusim/tlb_model.cc" "src/gpusim/CMakeFiles/mapp_gpusim.dir/tlb_model.cc.o" "gcc" "src/gpusim/CMakeFiles/mapp_gpusim.dir/tlb_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/isa/CMakeFiles/mapp_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/obs/CMakeFiles/mapp_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/mapp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

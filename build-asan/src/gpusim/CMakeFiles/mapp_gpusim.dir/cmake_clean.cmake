@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapp_gpusim.dir/l2_model.cc.o"
+  "CMakeFiles/mapp_gpusim.dir/l2_model.cc.o.d"
+  "CMakeFiles/mapp_gpusim.dir/mps_sim.cc.o"
+  "CMakeFiles/mapp_gpusim.dir/mps_sim.cc.o.d"
+  "CMakeFiles/mapp_gpusim.dir/sm_model.cc.o"
+  "CMakeFiles/mapp_gpusim.dir/sm_model.cc.o.d"
+  "CMakeFiles/mapp_gpusim.dir/tlb_model.cc.o"
+  "CMakeFiles/mapp_gpusim.dir/tlb_model.cc.o.d"
+  "libmapp_gpusim.a"
+  "libmapp_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapp_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/inst_mix.cc" "src/isa/CMakeFiles/mapp_isa.dir/inst_mix.cc.o" "gcc" "src/isa/CMakeFiles/mapp_isa.dir/inst_mix.cc.o.d"
+  "/root/repo/src/isa/kernel_phase.cc" "src/isa/CMakeFiles/mapp_isa.dir/kernel_phase.cc.o" "gcc" "src/isa/CMakeFiles/mapp_isa.dir/kernel_phase.cc.o.d"
+  "/root/repo/src/isa/trace.cc" "src/isa/CMakeFiles/mapp_isa.dir/trace.cc.o" "gcc" "src/isa/CMakeFiles/mapp_isa.dir/trace.cc.o.d"
+  "/root/repo/src/isa/trace_io.cc" "src/isa/CMakeFiles/mapp_isa.dir/trace_io.cc.o" "gcc" "src/isa/CMakeFiles/mapp_isa.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/common/CMakeFiles/mapp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

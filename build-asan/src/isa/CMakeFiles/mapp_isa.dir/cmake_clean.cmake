@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapp_isa.dir/inst_mix.cc.o"
+  "CMakeFiles/mapp_isa.dir/inst_mix.cc.o.d"
+  "CMakeFiles/mapp_isa.dir/kernel_phase.cc.o"
+  "CMakeFiles/mapp_isa.dir/kernel_phase.cc.o.d"
+  "CMakeFiles/mapp_isa.dir/trace.cc.o"
+  "CMakeFiles/mapp_isa.dir/trace.cc.o.d"
+  "CMakeFiles/mapp_isa.dir/trace_io.cc.o"
+  "CMakeFiles/mapp_isa.dir/trace_io.cc.o.d"
+  "libmapp_isa.a"
+  "libmapp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cc" "src/ml/CMakeFiles/mapp_ml.dir/cross_validation.cc.o" "gcc" "src/ml/CMakeFiles/mapp_ml.dir/cross_validation.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/mapp_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/mapp_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/dataset_io.cc" "src/ml/CMakeFiles/mapp_ml.dir/dataset_io.cc.o" "gcc" "src/ml/CMakeFiles/mapp_ml.dir/dataset_io.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/mapp_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/mapp_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/kernels.cc" "src/ml/CMakeFiles/mapp_ml.dir/kernels.cc.o" "gcc" "src/ml/CMakeFiles/mapp_ml.dir/kernels.cc.o.d"
+  "/root/repo/src/ml/linear_regression.cc" "src/ml/CMakeFiles/mapp_ml.dir/linear_regression.cc.o" "gcc" "src/ml/CMakeFiles/mapp_ml.dir/linear_regression.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/mapp_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/mapp_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/mapp_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/mapp_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/ml/CMakeFiles/mapp_ml.dir/svr.cc.o" "gcc" "src/ml/CMakeFiles/mapp_ml.dir/svr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/obs/CMakeFiles/mapp_obs.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/mapp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapp_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/mapp_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/mapp_ml.dir/dataset.cc.o"
+  "CMakeFiles/mapp_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/mapp_ml.dir/dataset_io.cc.o"
+  "CMakeFiles/mapp_ml.dir/dataset_io.cc.o.d"
+  "CMakeFiles/mapp_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/mapp_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/mapp_ml.dir/kernels.cc.o"
+  "CMakeFiles/mapp_ml.dir/kernels.cc.o.d"
+  "CMakeFiles/mapp_ml.dir/linear_regression.cc.o"
+  "CMakeFiles/mapp_ml.dir/linear_regression.cc.o.d"
+  "CMakeFiles/mapp_ml.dir/metrics.cc.o"
+  "CMakeFiles/mapp_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/mapp_ml.dir/random_forest.cc.o"
+  "CMakeFiles/mapp_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/mapp_ml.dir/svr.cc.o"
+  "CMakeFiles/mapp_ml.dir/svr.cc.o.d"
+  "libmapp_ml.a"
+  "libmapp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

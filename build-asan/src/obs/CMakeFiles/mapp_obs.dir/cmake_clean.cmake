@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapp_obs.dir/metrics.cc.o"
+  "CMakeFiles/mapp_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/mapp_obs.dir/timer.cc.o"
+  "CMakeFiles/mapp_obs.dir/timer.cc.o.d"
+  "CMakeFiles/mapp_obs.dir/trace.cc.o"
+  "CMakeFiles/mapp_obs.dir/trace.cc.o.d"
+  "libmapp_obs.a"
+  "libmapp_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapp_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapp_predictor.dir/data_collection.cc.o"
+  "CMakeFiles/mapp_predictor.dir/data_collection.cc.o.d"
+  "CMakeFiles/mapp_predictor.dir/decision_analysis.cc.o"
+  "CMakeFiles/mapp_predictor.dir/decision_analysis.cc.o.d"
+  "CMakeFiles/mapp_predictor.dir/fairness.cc.o"
+  "CMakeFiles/mapp_predictor.dir/fairness.cc.o.d"
+  "CMakeFiles/mapp_predictor.dir/features.cc.o"
+  "CMakeFiles/mapp_predictor.dir/features.cc.o.d"
+  "CMakeFiles/mapp_predictor.dir/kbag.cc.o"
+  "CMakeFiles/mapp_predictor.dir/kbag.cc.o.d"
+  "CMakeFiles/mapp_predictor.dir/predictor.cc.o"
+  "CMakeFiles/mapp_predictor.dir/predictor.cc.o.d"
+  "CMakeFiles/mapp_predictor.dir/scheduler.cc.o"
+  "CMakeFiles/mapp_predictor.dir/scheduler.cc.o.d"
+  "CMakeFiles/mapp_predictor.dir/schemes.cc.o"
+  "CMakeFiles/mapp_predictor.dir/schemes.cc.o.d"
+  "libmapp_predictor.a"
+  "libmapp_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapp_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

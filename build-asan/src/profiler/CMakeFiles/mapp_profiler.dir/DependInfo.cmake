@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/mica.cc" "src/profiler/CMakeFiles/mapp_profiler.dir/mica.cc.o" "gcc" "src/profiler/CMakeFiles/mapp_profiler.dir/mica.cc.o.d"
+  "/root/repo/src/profiler/op_profiler.cc" "src/profiler/CMakeFiles/mapp_profiler.dir/op_profiler.cc.o" "gcc" "src/profiler/CMakeFiles/mapp_profiler.dir/op_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/isa/CMakeFiles/mapp_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/mapp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapp_profiler.dir/mica.cc.o"
+  "CMakeFiles/mapp_profiler.dir/mica.cc.o.d"
+  "CMakeFiles/mapp_profiler.dir/op_profiler.cc.o"
+  "CMakeFiles/mapp_profiler.dir/op_profiler.cc.o.d"
+  "libmapp_profiler.a"
+  "libmapp_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapp_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/facedet.cc" "src/vision/CMakeFiles/mapp_vision.dir/facedet.cc.o" "gcc" "src/vision/CMakeFiles/mapp_vision.dir/facedet.cc.o.d"
+  "/root/repo/src/vision/fast.cc" "src/vision/CMakeFiles/mapp_vision.dir/fast.cc.o" "gcc" "src/vision/CMakeFiles/mapp_vision.dir/fast.cc.o.d"
+  "/root/repo/src/vision/hog.cc" "src/vision/CMakeFiles/mapp_vision.dir/hog.cc.o" "gcc" "src/vision/CMakeFiles/mapp_vision.dir/hog.cc.o.d"
+  "/root/repo/src/vision/image.cc" "src/vision/CMakeFiles/mapp_vision.dir/image.cc.o" "gcc" "src/vision/CMakeFiles/mapp_vision.dir/image.cc.o.d"
+  "/root/repo/src/vision/knn.cc" "src/vision/CMakeFiles/mapp_vision.dir/knn.cc.o" "gcc" "src/vision/CMakeFiles/mapp_vision.dir/knn.cc.o.d"
+  "/root/repo/src/vision/objrec.cc" "src/vision/CMakeFiles/mapp_vision.dir/objrec.cc.o" "gcc" "src/vision/CMakeFiles/mapp_vision.dir/objrec.cc.o.d"
+  "/root/repo/src/vision/ops.cc" "src/vision/CMakeFiles/mapp_vision.dir/ops.cc.o" "gcc" "src/vision/CMakeFiles/mapp_vision.dir/ops.cc.o.d"
+  "/root/repo/src/vision/orb.cc" "src/vision/CMakeFiles/mapp_vision.dir/orb.cc.o" "gcc" "src/vision/CMakeFiles/mapp_vision.dir/orb.cc.o.d"
+  "/root/repo/src/vision/registry.cc" "src/vision/CMakeFiles/mapp_vision.dir/registry.cc.o" "gcc" "src/vision/CMakeFiles/mapp_vision.dir/registry.cc.o.d"
+  "/root/repo/src/vision/sift.cc" "src/vision/CMakeFiles/mapp_vision.dir/sift.cc.o" "gcc" "src/vision/CMakeFiles/mapp_vision.dir/sift.cc.o.d"
+  "/root/repo/src/vision/surf.cc" "src/vision/CMakeFiles/mapp_vision.dir/surf.cc.o" "gcc" "src/vision/CMakeFiles/mapp_vision.dir/surf.cc.o.d"
+  "/root/repo/src/vision/svm.cc" "src/vision/CMakeFiles/mapp_vision.dir/svm.cc.o" "gcc" "src/vision/CMakeFiles/mapp_vision.dir/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/profiler/CMakeFiles/mapp_profiler.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/mapp_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/common/CMakeFiles/mapp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapp_vision.dir/facedet.cc.o"
+  "CMakeFiles/mapp_vision.dir/facedet.cc.o.d"
+  "CMakeFiles/mapp_vision.dir/fast.cc.o"
+  "CMakeFiles/mapp_vision.dir/fast.cc.o.d"
+  "CMakeFiles/mapp_vision.dir/hog.cc.o"
+  "CMakeFiles/mapp_vision.dir/hog.cc.o.d"
+  "CMakeFiles/mapp_vision.dir/image.cc.o"
+  "CMakeFiles/mapp_vision.dir/image.cc.o.d"
+  "CMakeFiles/mapp_vision.dir/knn.cc.o"
+  "CMakeFiles/mapp_vision.dir/knn.cc.o.d"
+  "CMakeFiles/mapp_vision.dir/objrec.cc.o"
+  "CMakeFiles/mapp_vision.dir/objrec.cc.o.d"
+  "CMakeFiles/mapp_vision.dir/ops.cc.o"
+  "CMakeFiles/mapp_vision.dir/ops.cc.o.d"
+  "CMakeFiles/mapp_vision.dir/orb.cc.o"
+  "CMakeFiles/mapp_vision.dir/orb.cc.o.d"
+  "CMakeFiles/mapp_vision.dir/registry.cc.o"
+  "CMakeFiles/mapp_vision.dir/registry.cc.o.d"
+  "CMakeFiles/mapp_vision.dir/sift.cc.o"
+  "CMakeFiles/mapp_vision.dir/sift.cc.o.d"
+  "CMakeFiles/mapp_vision.dir/surf.cc.o"
+  "CMakeFiles/mapp_vision.dir/surf.cc.o.d"
+  "CMakeFiles/mapp_vision.dir/svm.cc.o"
+  "CMakeFiles/mapp_vision.dir/svm.cc.o.d"
+  "libmapp_vision.a"
+  "libmapp_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapp_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_classifiers.dir/test_classifiers.cc.o"
+  "CMakeFiles/test_classifiers.dir/test_classifiers.cc.o.d"
+  "test_classifiers"
+  "test_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

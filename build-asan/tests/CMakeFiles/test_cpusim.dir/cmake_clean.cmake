@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpusim.dir/test_cpusim.cc.o"
+  "CMakeFiles/test_cpusim.dir/test_cpusim.cc.o.d"
+  "test_cpusim"
+  "test_cpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_collection.dir/test_data_collection.cc.o"
+  "CMakeFiles/test_data_collection.dir/test_data_collection.cc.o.d"
+  "test_data_collection"
+  "test_data_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fairness.dir/test_fairness.cc.o"
+  "CMakeFiles/test_fairness.dir/test_fairness.cc.o.d"
+  "test_fairness"
+  "test_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

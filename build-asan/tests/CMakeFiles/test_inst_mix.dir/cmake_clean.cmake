@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inst_mix.dir/test_inst_mix.cc.o"
+  "CMakeFiles/test_inst_mix.dir/test_inst_mix.cc.o.d"
+  "test_inst_mix"
+  "test_inst_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inst_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

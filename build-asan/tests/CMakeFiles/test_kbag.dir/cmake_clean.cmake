@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kbag.dir/test_kbag.cc.o"
+  "CMakeFiles/test_kbag.dir/test_kbag.cc.o.d"
+  "test_kbag"
+  "test_kbag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kbag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_scaling.dir/test_ops_scaling.cc.o"
+  "CMakeFiles/test_ops_scaling.dir/test_ops_scaling.cc.o.d"
+  "test_ops_scaling"
+  "test_ops_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_regressors.dir/test_regressors.cc.o"
+  "CMakeFiles/test_regressors.dir/test_regressors.cc.o.d"
+  "test_regressors"
+  "test_regressors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_regressors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

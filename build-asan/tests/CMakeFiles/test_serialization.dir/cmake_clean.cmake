@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serialization.dir/test_serialization.cc.o"
+  "CMakeFiles/test_serialization.dir/test_serialization.cc.o.d"
+  "test_serialization"
+  "test_serialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

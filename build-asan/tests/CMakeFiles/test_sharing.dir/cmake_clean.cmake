@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharing.dir/test_sharing.cc.o"
+  "CMakeFiles/test_sharing.dir/test_sharing.cc.o.d"
+  "test_sharing"
+  "test_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timelines.dir/test_timelines.cc.o"
+  "CMakeFiles/test_timelines.dir/test_timelines.cc.o.d"
+  "test_timelines"
+  "test_timelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

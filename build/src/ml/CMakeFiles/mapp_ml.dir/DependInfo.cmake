@@ -21,6 +21,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/obs/CMakeFiles/mapp_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/mapp_common.dir/DependInfo.cmake"
   )
 

@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/vision/CMakeFiles/mapp_vision.dir/DependInfo.cmake"
   "/root/repo/build/src/profiler/CMakeFiles/mapp_profiler.dir/DependInfo.cmake"
   "/root/repo/build/src/isa/CMakeFiles/mapp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/mapp_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/mapp_common.dir/DependInfo.cmake"
   )
 
