@@ -10,6 +10,7 @@
 #define MAPP_BENCH_HARNESS_H
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,11 +25,24 @@
 namespace mapp::bench {
 
 /**
+ * Wall clock at static init of the bench binary; writeMetricsSidecar
+ * measures the process lifetime against it, so every sidecar carries
+ * the binary's total wall time under the stable key `bench.wall_ms`
+ * (the trajectory key the bench tracking compares across commits).
+ */
+inline std::chrono::steady_clock::time_point
+processStart()
+{
+    static const auto start = std::chrono::steady_clock::now();
+    return start;
+}
+
+/**
  * Every bench binary including this header writes its metrics registry
  * to `<binary>.metrics.json` in the working directory at exit, so each
  * benchmark result gets a machine-readable sidecar (simulator event
- * counts, cache hit rates, tree-fit timings) for free. Set
- * MAPP_METRICS_SIDECAR=0 to suppress it.
+ * counts, cache hit rates, tree-fit timings, total wall time) for
+ * free. Set MAPP_METRICS_SIDECAR=0 to suppress it.
  */
 inline void
 writeMetricsSidecar()
@@ -36,6 +50,11 @@ writeMetricsSidecar()
     const char* toggle = std::getenv("MAPP_METRICS_SIDECAR");
     if (toggle != nullptr && std::string(toggle) == "0")
         return;
+    obs::defaultRegistry()
+        .gauge("bench.wall_ms")
+        .set(std::chrono::duration<double, std::milli>(
+                 std::chrono::steady_clock::now() - processStart())
+                 .count());
     std::string name = "bench";
 #ifdef __GLIBC__
     name = program_invocation_short_name;
@@ -50,8 +69,10 @@ struct MetricsSidecarHook
 {
     MetricsSidecarHook()
     {
-        // Touch the registry first so it outlives the atexit handler.
+        // Touch the registry first so it outlives the atexit handler,
+        // and pin the wall-clock start as early as possible.
         obs::defaultRegistry();
+        processStart();
         std::atexit(writeMetricsSidecar);
     }
 };

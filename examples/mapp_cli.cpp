@@ -21,12 +21,14 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/log.h"
+#include "common/parallel.h"
 #include "isa/trace_io.h"
 #include "ml/dataset_io.h"
 #include "obs/metrics.h"
@@ -55,7 +57,9 @@ usage()
                  "(chrome://tracing, Perfetto)\n"
                  "  --timeline-out=<file>  plain-text event timeline\n"
                  "  --metrics-out=<file>   metrics registry JSON\n"
-                 "  --log-level=<level>    quiet|normal|verbose|debug\n");
+                 "  --log-level=<level>    quiet|normal|verbose|debug\n"
+                 "  --threads=<n>          parallel lanes (default: "
+                 "MAPP_THREADS env, else all cores)\n");
     return 2;
 }
 
@@ -98,6 +102,15 @@ extractObsOptions(std::vector<std::string>& args)
                 return std::nullopt;
             }
             setLogLevel(*level);
+        } else if (auto v = flagValue("--threads=")) {
+            char* end = nullptr;
+            const long threads = std::strtol(v->c_str(), &end, 10);
+            if (v->empty() || *end != '\0' || threads <= 0) {
+                std::fprintf(stderr, "error: bad thread count '%s'\n",
+                             v->c_str());
+                return std::nullopt;
+            }
+            parallel::setMaxThreads(static_cast<int>(threads));
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "error: unknown flag '%s'\n",
                          arg.c_str());

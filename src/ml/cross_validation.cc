@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/log.h"
+#include "common/parallel.h"
 
 namespace mapp::ml {
 
@@ -40,12 +41,17 @@ evaluateFold(const std::string& label, const Dataset& train,
 CrossValidationResult
 leaveOneGroupOut(const Dataset& data, const FitPredictFn& fit_predict)
 {
+    // Folds are independent (each trains a fresh model on its own
+    // split), so they run concurrently; fold i writes only slot i and
+    // the result order matches the serial loop.
+    const auto groups = data.distinctGroups();
     CrossValidationResult result;
-    for (const auto& group : data.distinctGroups()) {
-        auto [train, test] = data.splitOutGroup(group);
-        result.folds.push_back(
-            evaluateFold(group, train, test, fit_predict));
-    }
+    result.folds.resize(groups.size());
+    parallel::parallelFor(groups.size(), [&](std::size_t i) {
+        auto [train, test] = data.splitOutGroup(groups[i]);
+        result.folds[i] = evaluateFold(groups[i], train, test,
+                                       fit_predict);
+    });
     return result;
 }
 
@@ -61,19 +67,23 @@ kFold(const Dataset& data, int folds, Rng& rng,
     rng.shuffle(order);
 
     CrossValidationResult result;
-    for (int f = 0; f < folds; ++f) {
-        std::vector<std::size_t> trainIdx;
-        std::vector<std::size_t> testIdx;
-        for (std::size_t i = 0; i < order.size(); ++i) {
-            if (static_cast<int>(i % static_cast<std::size_t>(folds)) == f)
-                testIdx.push_back(order[i]);
-            else
-                trainIdx.push_back(order[i]);
-        }
-        result.folds.push_back(evaluateFold(
-            "fold" + std::to_string(f), data.subset(trainIdx),
-            data.subset(testIdx), fit_predict));
-    }
+    result.folds.resize(static_cast<std::size_t>(folds));
+    parallel::parallelFor(
+        static_cast<std::size_t>(folds), [&](std::size_t fi) {
+            const int f = static_cast<int>(fi);
+            std::vector<std::size_t> trainIdx;
+            std::vector<std::size_t> testIdx;
+            for (std::size_t i = 0; i < order.size(); ++i) {
+                if (static_cast<int>(
+                        i % static_cast<std::size_t>(folds)) == f)
+                    testIdx.push_back(order[i]);
+                else
+                    trainIdx.push_back(order[i]);
+            }
+            result.folds[fi] = evaluateFold(
+                "fold" + std::to_string(f), data.subset(trainIdx),
+                data.subset(testIdx), fit_predict);
+        });
     return result;
 }
 

@@ -41,6 +41,11 @@ struct CrossValidationResult
  * A regressor factory + fit + predict bundle, so the CV drivers stay
  * model-agnostic. fitPredict must train on the first dataset and return
  * predictions for the second.
+ *
+ * The CV drivers evaluate folds concurrently on the thread pool, so
+ * fit_predict must be safe to call from several threads at once — in
+ * practice: construct a fresh model inside the callback instead of
+ * reusing one captured by reference.
  */
 using FitPredictFn =
     std::function<std::vector<double>(const Dataset& train,

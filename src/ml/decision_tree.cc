@@ -40,6 +40,15 @@ struct SplitCandidate
     double childSse = std::numeric_limits<double>::infinity();
 };
 
+/**
+ * Relative tolerance under which two candidate child SSEs count as
+ * tied. The campaign features are strongly correlated, so distinct
+ * (feature, threshold) splits routinely induce the *same* partition
+ * and their scores differ only by summation-order rounding; without a
+ * tolerance the winner would be decided by last-bit noise.
+ */
+constexpr double kSseTieTolerance = 1e-9;
+
 }  // namespace
 
 void
@@ -64,9 +73,39 @@ DecisionTreeRegressor::fit(const std::vector<std::vector<double>>& rows,
         feature_names.assign(rows.front().size(), "");
     featureNames_ = std::move(feature_names);
 
-    std::vector<std::size_t> indices(rows.size());
-    std::iota(indices.begin(), indices.end(), std::size_t{0});
-    buildNode(rows, targets, indices, 0);
+    const std::size_t n = rows.size();
+    const std::size_t numFeatures = rows.front().size();
+
+    if (numFeatures == 0) {
+        // Degenerate featureless fit: a single mean leaf.
+        std::vector<std::size_t> all(n);
+        std::iota(all.begin(), all.end(), std::size_t{0});
+        auto [mean, sse] = meanAndSse(targets, all);
+        nodes_.emplace_back();
+        nodes_.back().value = mean;
+        nodes_.back().sse = sse;
+        nodes_.back().samples = static_cast<int>(n);
+    } else {
+        // Classic CART presort: order the samples by every feature
+        // once at the root (O(F n log n) total); child nodes inherit
+        // their orders by stable partition, so no node ever sorts.
+        std::vector<std::vector<std::size_t>> orders(numFeatures);
+        for (std::size_t f = 0; f < numFeatures; ++f) {
+            auto& order = orders[f];
+            order.resize(n);
+            std::iota(order.begin(), order.end(), std::size_t{0});
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          if (rows[a][f] != rows[b][f])
+                              return rows[a][f] < rows[b][f];
+                          return a < b;  // deterministic tie order
+                      });
+        }
+        std::vector<std::size_t> indices(n);
+        std::iota(indices.begin(), indices.end(), std::size_t{0});
+        std::vector<char> side(n);
+        buildNode(rows, targets, orders, indices, 0, side);
+    }
 
     registry.counter("ml.tree.fits").add(1);
     registry.counter("ml.tree.nodes_built").add(nodes_.size());
@@ -78,10 +117,15 @@ int
 DecisionTreeRegressor::buildNode(
     const std::vector<std::vector<double>>& rows,
     const std::vector<double>& targets,
-    std::vector<std::size_t>& indices, int depth)
+    std::vector<std::vector<std::size_t>>& orders,
+    const std::vector<std::size_t>& indices, int depth,
+    std::vector<char>& side)
 {
     const int nodeId = static_cast<int>(nodes_.size());
     nodes_.emplace_back();
+    // Node statistics sum in partition order (not sorted order): the
+    // floating-point sums — and therefore every leaf value and split
+    // score — match the naive per-node-sort search bit for bit.
     auto [mean, sse] = meanAndSse(targets, indices);
     {
         Node& node = nodes_.back();
@@ -98,27 +142,24 @@ DecisionTreeRegressor::buildNode(
         return nodeId;
     }
 
-    // Greedy exhaustive split search: for each feature, sort the node's
-    // samples by that feature and evaluate every boundary between
-    // distinct values using prefix sums of y and y^2.
-    const std::size_t numFeatures = rows.front().size();
+    // Greedy exhaustive split search: every feature's samples arrive
+    // already sorted, so each candidate boundary between distinct
+    // values is evaluated in one O(n) prefix-sum sweep per feature.
+    const std::size_t numFeatures = orders.size();
     SplitCandidate best;
 
-    std::vector<std::size_t> order(indices);
     for (std::size_t f = 0; f < numFeatures; ++f) {
-        std::sort(order.begin(), order.end(),
-                  [&](std::size_t a, std::size_t b) {
-                      return rows[a][f] < rows[b][f];
-                  });
-
-        double sumLeft = 0.0;
-        double sqLeft = 0.0;
+        const auto& order = orders[f];
+        // Totals are re-summed per feature in that feature's sorted
+        // order, matching the accumulation order of the naive search.
         double sumTotal = 0.0;
         double sqTotal = 0.0;
         for (std::size_t i : order) {
             sumTotal += targets[i];
             sqTotal += targets[i] * targets[i];
         }
+        double sumLeft = 0.0;
+        double sqLeft = 0.0;
 
         for (std::size_t k = 0; k + 1 < order.size(); ++k) {
             const double y = targets[order[k]];
@@ -141,7 +182,22 @@ DecisionTreeRegressor::buildNode(
             const double sseR = sqR - sumR * sumR / nr;
             const double childSse = sseL + sseR;
 
-            if (childSse < best.childSse) {
+            // Strictly better wins; within-tolerance ties go to the
+            // later candidate (highest feature, then highest
+            // threshold) — an explicit deterministic rule instead of
+            // letting rounding noise pick the winner.
+            bool take = !best.valid;
+            if (best.valid) {
+                const double scale = std::max(
+                    {std::fabs(childSse), std::fabs(best.childSse),
+                     1e-30});
+                if (std::fabs(childSse - best.childSse) <=
+                    kSseTieTolerance * scale)
+                    take = true;
+                else
+                    take = childSse < best.childSse;
+            }
+            if (take) {
                 best.valid = true;
                 best.feature = static_cast<int>(f);
                 best.threshold = (xk + xn) / 2.0;
@@ -155,22 +211,53 @@ DecisionTreeRegressor::buildNode(
         return nodeId;
     }
 
-    std::vector<std::size_t> leftIdx;
-    std::vector<std::size_t> rightIdx;
+    // Mark each sample's side once, then stably partition every
+    // feature's order so both children stay presorted. The partition-
+    // order index list filters the same way, preserving dataset order
+    // down the tree.
+    std::size_t numLeft = 0;
     for (std::size_t i : indices) {
-        if (rows[i][static_cast<std::size_t>(best.feature)] <=
-            best.threshold) {
-            leftIdx.push_back(i);
-        } else {
-            rightIdx.push_back(i);
-        }
+        side[i] = rows[i][static_cast<std::size_t>(best.feature)] <=
+                          best.threshold
+                      ? 1
+                      : 0;
+        numLeft += side[i];
     }
-    if (leftIdx.empty() || rightIdx.empty())
+    if (numLeft == 0 || numLeft == n)
         return nodeId;  // numeric degeneracy; keep the leaf
 
+    std::vector<std::size_t> leftIndices;
+    std::vector<std::size_t> rightIndices;
+    leftIndices.reserve(numLeft);
+    rightIndices.reserve(n - numLeft);
+    for (std::size_t i : indices) {
+        if (side[i])
+            leftIndices.push_back(i);
+        else
+            rightIndices.push_back(i);
+    }
+
+    std::vector<std::vector<std::size_t>> leftOrders(numFeatures);
+    std::vector<std::vector<std::size_t>> rightOrders(numFeatures);
+    for (std::size_t f = 0; f < numFeatures; ++f) {
+        leftOrders[f].reserve(numLeft);
+        rightOrders[f].reserve(n - numLeft);
+        for (std::size_t i : orders[f]) {
+            if (side[i])
+                leftOrders[f].push_back(i);
+            else
+                rightOrders[f].push_back(i);
+        }
+        // Release the parent's copy early: peak memory stays O(F n)
+        // per level of the *current* path, not of the whole tree.
+        orders[f] = std::vector<std::size_t>();
+    }
+
     // Recurse; re-fetch the node reference afterwards (vector may grow).
-    const int left = buildNode(rows, targets, leftIdx, depth + 1);
-    const int right = buildNode(rows, targets, rightIdx, depth + 1);
+    const int left = buildNode(rows, targets, leftOrders, leftIndices,
+                               depth + 1, side);
+    const int right = buildNode(rows, targets, rightOrders, rightIndices,
+                                depth + 1, side);
     Node& node = nodes_[static_cast<std::size_t>(nodeId)];
     node.leaf = false;
     node.feature = best.feature;

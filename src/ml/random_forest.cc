@@ -1,9 +1,31 @@
 #include "ml/random_forest.h"
 
 #include "common/log.h"
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace mapp::ml {
+
+namespace {
+
+/**
+ * Per-tree RNG seed: a splitmix64-style mix of the forest seed and the
+ * tree index. Each tree owns an independent stream derived only from
+ * (seed, t), so fits are bit-identical whether trees are built
+ * serially or concurrently, in any order.
+ */
+std::uint64_t
+treeSeed(std::uint64_t forest_seed, int tree)
+{
+    std::uint64_t z = forest_seed +
+                      (static_cast<std::uint64_t>(tree) + 1) *
+                          0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+}  // namespace
 
 void
 RandomForestRegressor::fit(const Dataset& data)
@@ -11,25 +33,25 @@ RandomForestRegressor::fit(const Dataset& data)
     if (data.empty())
         fatal("RandomForestRegressor::fit: empty dataset");
 
-    trees_.clear();
-    Rng rng(params_.seed);
     const auto n = data.size();
     const auto sampleSize = std::max<std::size_t>(
         static_cast<std::size_t>(static_cast<double>(n) *
                                  params_.sampleFraction),
         1);
 
-    for (int t = 0; t < params_.numTrees; ++t) {
+    const auto numTrees = static_cast<std::size_t>(params_.numTrees);
+    std::vector<DecisionTreeRegressor> trees(
+        numTrees, DecisionTreeRegressor(params_.tree));
+    parallel::parallelFor(numTrees, [&](std::size_t t) {
+        Rng rng(treeSeed(params_.seed, static_cast<int>(t)));
         std::vector<std::size_t> indices;
         indices.reserve(sampleSize);
         for (std::size_t i = 0; i < sampleSize; ++i)
             indices.push_back(static_cast<std::size_t>(rng.uniformInt(
                 0, static_cast<std::int64_t>(n) - 1)));
-        const Dataset sample = data.subset(indices);
-        DecisionTreeRegressor tree(params_.tree);
-        tree.fit(sample);
-        trees_.push_back(std::move(tree));
-    }
+        trees[t].fit(data.subset(indices));
+    });
+    trees_ = std::move(trees);
 }
 
 double

@@ -24,7 +24,13 @@ struct RandomForestParams
     std::uint64_t seed = 42;
 };
 
-/** Mean-aggregated ensemble of CART trees on bootstrap samples. */
+/**
+ * Mean-aggregated ensemble of CART trees on bootstrap samples.
+ *
+ * Each tree's bootstrap sample is drawn from an RNG stream derived
+ * only from (seed, tree index), so trees fit concurrently on the
+ * thread pool produce exactly the forest a serial fit would.
+ */
 class RandomForestRegressor
 {
   public:
@@ -33,7 +39,8 @@ class RandomForestRegressor
     {
     }
 
-    /** Fit the ensemble. @throws FatalError on empty data. */
+    /** Fit the ensemble (trees in parallel). @throws FatalError on
+     *  empty data. */
     void fit(const Dataset& data);
 
     /** Predict one sample (mean over trees). */

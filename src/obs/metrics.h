@@ -9,6 +9,16 @@
  * should resolve their instrument once and increment the reference.
  * snapshot()/reset() give tests and exporters a consistent view without
  * stopping writers.
+ *
+ * Thread-safety contract (relied on by the parallel execution layer):
+ * every operation on Registry, Counter, Gauge and Histogram is safe to
+ * call concurrently from any thread. Instrument references returned by
+ * counter()/gauge()/histogram() are stable for the registry's lifetime
+ * and may be updated from pool workers without external locking —
+ * collectors and simulators increment them freely from parallelFor
+ * bodies. Updates use relaxed atomics: totals are exact once threads
+ * join (parallelFor joins before returning), but a snapshot taken
+ * mid-flight may interleave with concurrent updates.
  */
 
 #ifndef MAPP_OBS_METRICS_H

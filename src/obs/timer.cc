@@ -7,30 +7,42 @@
 
 namespace mapp::obs {
 
+PhaseProfiler::Node*&
+PhaseProfiler::cursorLocked()
+{
+    const auto id = std::this_thread::get_id();
+    auto it = cursors_.find(id);
+    if (it == cursors_.end())
+        it = cursors_.emplace(id, &root_).first;
+    return it->second;
+}
+
 void
 PhaseProfiler::enter(std::string_view name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = current_->children.find(name);
-    if (it == current_->children.end()) {
+    Node*& current = cursorLocked();
+    auto it = current->children.find(name);
+    if (it == current->children.end()) {
         auto node = std::make_unique<Node>();
         node->name = std::string(name);
-        node->parent = current_;
-        it = current_->children.emplace(node->name, std::move(node))
+        node->parent = current;
+        it = current->children.emplace(node->name, std::move(node))
                  .first;
     }
-    current_ = it->second.get();
+    current = it->second.get();
 }
 
 void
 PhaseProfiler::exit(double seconds)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (current_ == &root_)
+    Node*& current = cursorLocked();
+    if (current == &root_)
         panic("PhaseProfiler::exit: no phase entered");
-    current_->seconds += seconds;
-    current_->count += 1;
-    current_ = current_->parent;
+    current->seconds += seconds;
+    current->count += 1;
+    current = current->parent;
 }
 
 void
@@ -89,7 +101,7 @@ PhaseProfiler::reset()
     root_.children.clear();
     root_.seconds = 0.0;
     root_.count = 0;
-    current_ = &root_;
+    cursors_.clear();
 }
 
 PhaseProfiler&

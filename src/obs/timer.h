@@ -20,6 +20,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -67,9 +68,13 @@ class ScopedTimer
 /**
  * A hierarchical wall-time profile: a tree of named phases where each
  * node accumulates total seconds and entry count. enter()/exit() keep
- * a cursor into the tree; identical phase names under the same parent
- * merge. Thread-safe via one mutex — phases are coarse (pipeline
- * stages, not per-event), so contention is negligible.
+ * a *per-thread* cursor into the shared tree; identical phase names
+ * under the same parent merge. Thread-safe via one mutex — phases are
+ * coarse (pipeline stages, not per-event), so contention is
+ * negligible. A worker thread's first enter() roots its phase stack at
+ * the top level, so phases recorded from pool workers (parallel
+ * campaign collection, LOOCV folds) appear as their own top-level
+ * subtrees rather than corrupting the calling thread's stack.
  */
 class PhaseProfiler
 {
@@ -111,9 +116,12 @@ class PhaseProfiler
 
     static void copyTree(const Node& from, PhaseReport& to);
 
+    /** This thread's cursor (created at root on first use); locked. */
+    Node*& cursorLocked();
+
     mutable std::mutex mutex_;
     Node root_;
-    Node* current_ = &root_;
+    std::map<std::thread::id, Node*> cursors_;
 };
 
 /** The process-wide profiler of the predictor pipeline. */

@@ -1,9 +1,11 @@
 #include "predictor/data_collection.h"
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "common/log.h"
+#include "common/parallel.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "profiler/mica.h"
@@ -54,38 +56,45 @@ DataCollector::bestThreads(const BagMember& member)
 {
     if (params_.forcedThreads > 0)
         return params_.forcedThreads;
-    auto it = threadCache_.find(member);
-    if (it == threadCache_.end()) {
-        const auto& trace =
-            vision::cachedTrace(member.id, member.batchSize);
-        it = threadCache_.emplace(member, cpu_.bestThreadCount(trace))
-                 .first;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        auto it = threadCache_.find(member);
+        if (it != threadCache_.end())
+            return it->second;
     }
-    return it->second;
+    const auto& trace = vision::cachedTrace(member.id, member.batchSize);
+    const int best = cpu_.bestThreadCount(trace);
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    return threadCache_.emplace(member, best).first->second;
 }
 
 double
 DataCollector::ipcAlone(const BagMember& member)
 {
-    auto it = ipcCache_.find(member);
-    if (it == ipcCache_.end()) {
-        const auto& trace =
-            vision::cachedTrace(member.id, member.batchSize);
-        const auto result = cpu_.runAlone(trace, bestThreads(member));
-        it = ipcCache_.emplace(member, result.ipc).first;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        auto it = ipcCache_.find(member);
+        if (it != ipcCache_.end())
+            return it->second;
     }
-    return it->second;
+    const auto& trace = vision::cachedTrace(member.id, member.batchSize);
+    const auto result = cpu_.runAlone(trace, bestThreads(member));
+    std::lock_guard<std::mutex> lock(cacheMutex_);
+    return ipcCache_.emplace(member, result.ipc).first->second;
 }
 
 const AppFeatures&
 DataCollector::appFeatures(const BagMember& member)
 {
-    auto it = featureCache_.find(member);
-    if (it != featureCache_.end()) {
-        obs::defaultRegistry()
-            .counter("collector.feature_cache_hits")
-            .add(1);
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex_);
+        auto it = featureCache_.find(member);
+        if (it != featureCache_.end()) {
+            obs::defaultRegistry()
+                .counter("collector.feature_cache_hits")
+                .add(1);
+            return it->second;
+        }
     }
 
     const obs::ScopedPhase phase("feature-extraction");
@@ -99,6 +108,7 @@ DataCollector::appFeatures(const BagMember& member)
     f.cpuTime = cpu_.runAlone(trace, bestThreads(member)).time;
     f.gpuTime = gpu_.runAlone(trace).time;
     f.mixPercent = mica.mixPercent;
+    std::lock_guard<std::mutex> lock(cacheMutex_);
     return featureCache_.emplace(member, std::move(f)).first->second;
 }
 
@@ -157,10 +167,33 @@ DataCollector::collect(const BagSpec& raw_spec)
 std::vector<DataPoint>
 DataCollector::collectAll(const std::vector<BagSpec>& specs)
 {
-    std::vector<DataPoint> out;
-    out.reserve(specs.size());
-    for (const auto& spec : specs)
-        out.push_back(collect(spec));
+    const obs::ScopedPhase phase("campaign-collection");
+    obs::defaultRegistry()
+        .gauge("collector.parallel_threads")
+        .set(static_cast<double>(parallel::maxThreads()));
+
+    // Pre-warm the per-app caches: one task per *distinct* member so
+    // no two workers redo the same single-instance simulations, and
+    // the cache contents end up identical to a serial run's.
+    std::set<BagMember> memberSet;
+    for (const auto& spec : specs) {
+        const BagSpec canon = spec.canonical();
+        memberSet.insert(canon.a);
+        memberSet.insert(canon.b);
+    }
+    const std::vector<BagMember> members(memberSet.begin(),
+                                         memberSet.end());
+    parallel::parallelFor(members.size(), [&](std::size_t i) {
+        appFeatures(members[i]);
+        ipcAlone(members[i]);
+    });
+
+    // Measure bags concurrently; slot i belongs to specs[i], so the
+    // dataset row order (canonical bag order) matches the serial loop.
+    std::vector<DataPoint> out(specs.size());
+    parallel::parallelFor(specs.size(), [&](std::size_t i) {
+        out[i] = collect(specs[i]);
+    });
     return out;
 }
 

@@ -12,6 +12,7 @@
 #define MAPP_PREDICTOR_DATA_COLLECTION_H
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -79,7 +80,21 @@ struct CollectorParams
     int forcedThreads = 0;
 };
 
-/** Runs the measurement pipeline over bags, caching per-app results. */
+/**
+ * Runs the measurement pipeline over bags, caching per-app results.
+ *
+ * Thread-safety: the per-app caches (features, best thread count,
+ * alone IPC) are mutex-guarded, so collect()/appFeatures()/
+ * bestThreads()/ipcAlone() may be called concurrently from pool
+ * workers. Cached values are deterministic functions of the member, so
+ * a rare duplicate computation under a race is wasted work, never a
+ * wrong answer — the first inserted value wins and references stay
+ * stable (std::map nodes never move). collectAll() exploits this: it
+ * pre-warms the per-app caches in parallel (one worker per distinct
+ * member, no duplicated simulation in the common case), then measures
+ * bags in parallel, writing each DataPoint into its spec's slot so the
+ * output order is identical to the serial loop.
+ */
 class DataCollector
 {
   public:
@@ -112,7 +127,11 @@ class DataCollector
      */
     double measureFairness(const BagSpec& spec);
 
-    /** Measure a whole campaign. */
+    /**
+     * Measure a whole campaign. Runs bags concurrently on the global
+     * thread pool when the parallel layer is enabled; the returned
+     * points are in @p specs order and bit-identical to a serial run.
+     */
     std::vector<DataPoint> collectAll(const std::vector<BagSpec>& specs);
 
     /**
@@ -138,6 +157,12 @@ class DataCollector
     gpusim::MpsSim gpu_;
     CollectorParams params_;
 
+    /**
+     * Guards the three caches below. Simulations run *outside* the
+     * lock (they are const and touch no collector state); only the
+     * lookup/insert critical sections hold it.
+     */
+    mutable std::mutex cacheMutex_;
     std::map<BagMember, AppFeatures> featureCache_;
     std::map<BagMember, int> threadCache_;
     std::map<BagMember, double> ipcCache_;

@@ -1,6 +1,7 @@
 #include "predictor/predictor.h"
 
 #include "common/log.h"
+#include "common/parallel.h"
 #include "ml/metrics.h"
 #include "obs/timer.h"
 
@@ -109,7 +110,12 @@ MultiAppPredictor::looBenchmarkCv(const ml::Dataset& raw,
 {
     const obs::ScopedPhase phase("loocv");
     ml::CrossValidationResult result;
-    for (const auto& bench : benchmarks) {
+    result.folds.resize(benchmarks.size());
+    // Every fold trains its own model on its own split, so folds run
+    // concurrently; fold f only writes slot f, keeping the paper's
+    // benchmark order.
+    parallel::parallelFor(benchmarks.size(), [&](std::size_t f) {
+        const auto& bench = benchmarks[f];
         auto [train, test] = splitOutBenchmark(raw, bench);
         ml::FoldResult fold;
         fold.label = bench;
@@ -134,8 +140,8 @@ MultiAppPredictor::looBenchmarkCv(const ml::Dataset& raw,
             fold.mse =
                 ml::meanSquaredError(test.targets(), predictions);
         }
-        result.folds.push_back(std::move(fold));
-    }
+        result.folds[f] = std::move(fold);
+    });
     return result;
 }
 

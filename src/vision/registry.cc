@@ -1,6 +1,7 @@
 #include "vision/registry.h"
 
 #include <map>
+#include <memory>
 #include <mutex>
 
 #include "common/log.h"
@@ -179,18 +180,48 @@ profileWorkload(BenchmarkId id, int batch_size, std::uint64_t seed)
     return trace;
 }
 
+namespace {
+
+/** One memoized trace slot: profiled exactly once, even under races. */
+struct TraceCacheEntry
+{
+    std::once_flag once;
+    isa::WorkloadTrace trace;
+};
+
+}  // namespace
+
 const isa::WorkloadTrace&
 cachedTrace(BenchmarkId id, int batch_size)
 {
+    // The map mutex only guards slot lookup/creation; the expensive
+    // profiling run happens outside it under a per-key once_flag, so
+    // worker threads profiling *different* (benchmark, batch) keys
+    // proceed concurrently while racers on the *same* key block until
+    // the first finishes. Entries are shared_ptr so references survive
+    // map rebalancing.
     static std::mutex mutex;
-    static std::map<std::pair<int, int>, isa::WorkloadTrace> cache;
+    static std::map<std::pair<int, int>,
+                    std::shared_ptr<TraceCacheEntry>>
+        cache;
 
     const std::pair<int, int> key{static_cast<int>(id), batch_size};
-    std::lock_guard<std::mutex> lock(mutex);
-    auto it = cache.find(key);
-    if (it == cache.end())
-        it = cache.emplace(key, profileWorkload(id, batch_size)).first;
-    return it->second;
+    std::shared_ptr<TraceCacheEntry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            it = cache
+                     .emplace(key,
+                              std::make_shared<TraceCacheEntry>())
+                     .first;
+        }
+        entry = it->second;
+    }
+    std::call_once(entry->once, [&] {
+        entry->trace = profileWorkload(id, batch_size);
+    });
+    return entry->trace;
 }
 
 }  // namespace mapp::vision
