@@ -27,8 +27,10 @@
 #include <string>
 #include <vector>
 
+#include "common/error.h"
 #include "common/log.h"
 #include "common/parallel.h"
+#include "common/parse.h"
 #include "isa/trace_io.h"
 #include "ml/dataset_io.h"
 #include "obs/metrics.h"
@@ -103,14 +105,13 @@ extractObsOptions(std::vector<std::string>& args)
             }
             setLogLevel(*level);
         } else if (auto v = flagValue("--threads=")) {
-            char* end = nullptr;
-            const long threads = std::strtol(v->c_str(), &end, 10);
-            if (v->empty() || *end != '\0' || threads <= 0) {
-                std::fprintf(stderr, "error: bad thread count '%s'\n",
-                             v->c_str());
+            const auto threads = parseBoundedInt(*v, 1, 1 << 20);
+            if (!threads) {
+                std::fprintf(stderr, "error: bad thread count: %s\n",
+                             threads.error().message().c_str());
                 return std::nullopt;
             }
-            parallel::setMaxThreads(static_cast<int>(threads));
+            parallel::setMaxThreads(threads.value());
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "error: unknown flag '%s'\n",
                          arg.c_str());
@@ -154,6 +155,23 @@ writeObsOutputs(const ObsOptions& opts)
     }
 }
 
+/** Largest batch size the CLI accepts anywhere. */
+constexpr int kMaxBatch = 1'000'000;
+
+/**
+ * Strictly parse a batch-size token: "1x6", "", "-3" and out-of-range
+ * values all fail with the reason, instead of std::stoi's silent
+ * truncation or uncaught std::invalid_argument.
+ */
+int
+parseBatch(const std::string& text, const std::string& what)
+{
+    const auto batch = parseBoundedInt(text, 1, kMaxBatch);
+    if (!batch)
+        fatal("bad " + what + ": " + batch.error().message());
+    return batch.value();
+}
+
 /** Parse "SIFT@40" into a bag member. */
 predictor::BagMember
 parseMember(const std::string& text)
@@ -163,9 +181,8 @@ parseMember(const std::string& text)
         fatal("expected BENCH@BATCH, got " + text);
     predictor::BagMember m;
     m.id = vision::benchmarkFromName(text.substr(0, at));
-    m.batchSize = std::stoi(text.substr(at + 1));
-    if (m.batchSize <= 0)
-        fatal("batch size must be positive");
+    m.batchSize = parseBatch(text.substr(at + 1),
+                             "batch in '" + text + "'");
     return m;
 }
 
@@ -244,7 +261,7 @@ cmdTrace(const std::string& bench, const std::string& batch,
          const std::string& path)
 {
     const auto id = vision::benchmarkFromName(bench);
-    const int batchSize = std::stoi(batch);
+    const int batchSize = parseBatch(batch, "batch '" + batch + "'");
     const auto trace = vision::profileWorkload(id, batchSize);
     isa::writeTraceFile(trace, path);
     std::printf("%s\nwrote %zu phases to %s\n", trace.summary().c_str(),
@@ -292,6 +309,11 @@ main(int argc, char** argv)
     } catch (const FatalError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         writeObsOutputs(*opts);
+        return 1;
+    } catch (const std::exception& e) {
+        // Last-resort boundary: no input, however malformed, may take
+        // the process down with an uncaught exception.
+        std::fprintf(stderr, "internal error: %s\n", e.what());
         return 1;
     }
     if (status < 0)

@@ -3,7 +3,9 @@
 #include <fstream>
 #include <ostream>
 #include <sstream>
-#include <stdexcept>
+
+#include "common/error.h"
+#include "common/parse.h"
 
 namespace mapp {
 
@@ -21,13 +23,21 @@ CsvTable::numericColumn(const std::string& name) const
 {
     const int idx = columnIndex(name);
     if (idx < 0)
-        throw std::runtime_error("CsvTable: no column named " + name);
+        raise({ErrorCode::Schema, "no column named '" + name + "'",
+               {source, 0, ""}});
+    const auto col = static_cast<std::size_t>(idx);
     std::vector<double> out;
     out.reserve(rows.size());
-    for (const auto& row : rows) {
-        if (static_cast<std::size_t>(idx) >= row.size())
-            throw std::runtime_error("CsvTable: short row");
-        out.push_back(std::stod(row[static_cast<std::size_t>(idx)]));
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const SourceContext ctx{source, r + 1, name};
+        const auto& row = rows[r];
+        if (col >= row.size())
+            raise({ErrorCode::Schema,
+                   "row has " + std::to_string(row.size()) +
+                       " cells but '" + name + "' is column " +
+                       std::to_string(col + 1),
+                   ctx});
+        out.push_back(parseDouble(row[col]).orThrow(ctx));
     }
     return out;
 }
@@ -147,9 +157,10 @@ parseRecords(const std::string& text)
 }  // namespace
 
 CsvTable
-parseCsv(const std::string& text)
+parseCsv(const std::string& text, std::string source)
 {
     CsvTable table;
+    table.source = std::move(source);
     auto records = parseRecords(text);
     if (records.empty())
         return table;
@@ -164,10 +175,12 @@ readCsvFile(const std::string& path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        throw std::runtime_error("readCsvFile: cannot open " + path);
+        raise({ErrorCode::Io, "cannot open file", {path, 0, ""}});
     std::ostringstream ss;
     ss << in.rdbuf();
-    return parseCsv(ss.str());
+    if (in.bad())
+        raise({ErrorCode::Io, "read failed", {path, 0, ""}});
+    return parseCsv(ss.str(), path);
 }
 
 std::string

@@ -20,10 +20,22 @@ struct CsvTable
     std::vector<std::string> header;
     std::vector<std::vector<std::string>> rows;
 
+    /**
+     * Where the table came from (file path or caller-chosen label);
+     * readCsvFile() fills it in so parse errors can point at the file.
+     * Empty when parsed from an anonymous string.
+     */
+    std::string source;
+
     /** Index of a header column, or -1 if absent. */
     int columnIndex(const std::string& name) const;
 
-    /** A whole column parsed as doubles (throws on parse failure). */
+    /**
+     * A whole column strictly parsed as finite doubles.
+     * @throws InputError locating the bad cell (source, row, column)
+     *         on a missing column, short row, or malformed number —
+     *         trailing garbage ("1.5abc") and NaN/Inf are rejected.
+     */
     std::vector<double> numericColumn(const std::string& name) const;
 };
 
@@ -47,10 +59,13 @@ class CsvWriter
     std::ostream& os_;
 };
 
-/** Parse CSV text (first row is the header). */
-CsvTable parseCsv(const std::string& text);
+/**
+ * Parse CSV text (first row is the header). @p source labels the text
+ * in later error messages (e.g. the path it was read from).
+ */
+CsvTable parseCsv(const std::string& text, std::string source = "");
 
-/** Read and parse a CSV file. @throws std::runtime_error on I/O error. */
+/** Read and parse a CSV file. @throws InputError on I/O error. */
 CsvTable readCsvFile(const std::string& path);
 
 /** Serialize a table back to CSV text. */

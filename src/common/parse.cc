@@ -1,0 +1,120 @@
+#include "common/parse.h"
+
+#include <charconv>
+#include <cmath>
+#include <string>
+
+namespace mapp {
+
+namespace {
+
+std::string_view
+trim(std::string_view text)
+{
+    while (!text.empty() && (text.front() == ' ' || text.front() == '\t'))
+        text.remove_prefix(1);
+    while (!text.empty() && (text.back() == ' ' || text.back() == '\t'))
+        text.remove_suffix(1);
+    return text;
+}
+
+std::string
+quoted(std::string_view text)
+{
+    // Cap the echoed input so a pathological cell can't bloat the log.
+    constexpr std::size_t kMaxEcho = 64;
+    std::string out = "'";
+    out.append(text.substr(0, kMaxEcho));
+    if (text.size() > kMaxEcho)
+        out += "...";
+    out += "'";
+    return out;
+}
+
+Error
+emptyError()
+{
+    return {ErrorCode::Parse, "empty value where a number was expected"};
+}
+
+/** Shared integral tail: from_chars + full-consumption + bounds check. */
+template <typename T>
+Result<T>
+parseIntegral(std::string_view text, T min, T max, const char* kind)
+{
+    const std::string_view token = trim(text);
+    if (token.empty())
+        return emptyError();
+    T value{};
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc::invalid_argument)
+        return Error{ErrorCode::Parse, quoted(token) + std::string(" is not ") +
+                                           kind};
+    if (ptr != token.data() + token.size())
+        return Error{ErrorCode::Parse,
+                     "trailing characters after number in " + quoted(token)};
+    if (ec == std::errc::result_out_of_range || value < min || value > max)
+        return Error{ErrorCode::Range,
+                     quoted(token) + " is out of range [" +
+                         std::to_string(min) + ", " + std::to_string(max) +
+                         "]"};
+    return value;
+}
+
+}  // namespace
+
+Result<double>
+parseDouble(std::string_view text)
+{
+    const std::string_view token = trim(text);
+    if (token.empty())
+        return emptyError();
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc::invalid_argument)
+        return Error{ErrorCode::Parse, quoted(token) + " is not a number"};
+    if (ptr != token.data() + token.size())
+        return Error{ErrorCode::Parse,
+                     "trailing characters after number in " + quoted(token)};
+    if (ec == std::errc::result_out_of_range)
+        return Error{ErrorCode::Range,
+                     quoted(token) + " overflows a double"};
+    // from_chars accepts textual "nan"/"inf"; a dataset cell holding
+    // either would poison every model statistic downstream, so the
+    // strict boundary rejects non-finite values outright.
+    if (!std::isfinite(value))
+        return Error{ErrorCode::Range,
+                     "non-finite value " + quoted(token) + " is not allowed"};
+    return value;
+}
+
+Result<long long>
+parseInt(std::string_view text, long long min, long long max)
+{
+    return parseIntegral<long long>(text, min, max, "an integer");
+}
+
+Result<std::uint64_t>
+parseUnsigned(std::string_view text, std::uint64_t max)
+{
+    const std::string_view token = trim(text);
+    if (!token.empty() && token.front() == '-')
+        return Error{ErrorCode::Range,
+                     "negative value " + quoted(token) +
+                         " where an unsigned integer was expected"};
+    return parseIntegral<std::uint64_t>(token, std::uint64_t{0}, max,
+                                        "an unsigned integer");
+}
+
+Result<int>
+parseBoundedInt(std::string_view text, int min, int max)
+{
+    auto wide = parseInt(text, min, max);
+    if (!wide)
+        return wide.error();
+    return static_cast<int>(wide.value());
+}
+
+}  // namespace mapp

@@ -82,6 +82,12 @@ percentile(std::span<const double> xs, double p)
 {
     if (xs.empty())
         return 0.0;
+    // Clamp before the size_t cast below: p > 100 would index
+    // sorted[size] and a negative p would wrap to a huge index.
+    if (!(p >= 0.0))
+        p = 0.0;
+    else if (p > 100.0)
+        p = 100.0;
     std::vector<double> sorted(xs.begin(), xs.end());
     std::sort(sorted.begin(), sorted.end());
     if (sorted.size() == 1)

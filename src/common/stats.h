@@ -42,7 +42,7 @@ double median(std::span<const double> xs);
  * Linear-interpolated percentile.
  *
  * @param xs values (copied and sorted internally)
- * @param p percentile in [0, 100]
+ * @param p percentile, clamped to [0, 100] (NaN is treated as 0)
  */
 double percentile(std::span<const double> xs, double p);
 

@@ -19,16 +19,20 @@ namespace mapp::isa {
 std::string traceToCsv(const WorkloadTrace& trace);
 
 /**
- * Parse a trace back from CSV text produced by traceToCsv.
- * @throws FatalError on malformed input (missing columns, bad values,
- *         phases that fail validation).
+ * Parse a trace back from CSV text produced by traceToCsv. Every cell
+ * is parsed strictly (no trailing garbage, no NaN/Inf, no overflow).
+ * @param source label for the text in error messages (e.g. its path)
+ * @throws InputError locating the offending row/column on malformed
+ *         input (missing columns, bad values, phases that fail
+ *         validation).
  */
-WorkloadTrace traceFromCsv(const std::string& text);
+WorkloadTrace traceFromCsv(const std::string& text,
+                           const std::string& source = "");
 
-/** Write a trace to a file. @throws FatalError on I/O failure. */
+/** Write a trace to a file. @throws InputError on I/O failure. */
 void writeTraceFile(const WorkloadTrace& trace, const std::string& path);
 
-/** Read a trace from a file. @throws FatalError on I/O failure. */
+/** Read a trace from a file. @throws InputError on I/O or parse failure. */
 WorkloadTrace readTraceFile(const std::string& path);
 
 }  // namespace mapp::isa

@@ -1,6 +1,7 @@
 #include "ml/dataset.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/log.h"
@@ -18,6 +19,13 @@ Dataset::addRow(std::vector<double> features, double target,
 {
     if (features.size() != names_.size())
         fatal("Dataset::addRow: feature count mismatch");
+    for (std::size_t f = 0; f < features.size(); ++f) {
+        if (!std::isfinite(features[f]))
+            fatal("Dataset::addRow: non-finite value for feature '" +
+                  names_[f] + "'");
+    }
+    if (!std::isfinite(target))
+        fatal("Dataset::addRow: non-finite target");
     rows_.push_back(std::move(features));
     targets_.push_back(target);
     groups_.push_back(std::move(group));

@@ -31,9 +31,11 @@ class Dataset
 
     /**
      * Append a row.
-     * @param features must match numFeatures()
-     * @param target regression target
+     * @param features must match numFeatures(); every value finite
+     * @param target regression target; must be finite
      * @param group group label (e.g. the benchmark whose bag this is)
+     * @throws FatalError on a count mismatch or a NaN/Inf value, so a
+     *         corrupt cell can never reach a trained model
      */
     void addRow(std::vector<double> features, double target,
                 std::string group = "");

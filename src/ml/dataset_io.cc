@@ -4,7 +4,9 @@
 #include <sstream>
 
 #include "common/csv.h"
+#include "common/error.h"
 #include "common/log.h"
+#include "common/parse.h"
 
 namespace mapp::ml {
 
@@ -39,38 +41,45 @@ datasetToCsv(const Dataset& data)
 }
 
 Dataset
-datasetFromCsv(const std::string& text)
+datasetFromCsv(const std::string& text, const std::string& source)
 {
-    const CsvTable table = parseCsv(text);
+    const CsvTable table = parseCsv(text, source);
     if (table.header.size() < 2)
-        fatal("datasetFromCsv: header too short");
+        raise({ErrorCode::Schema,
+               "header too short (" +
+                   std::to_string(table.header.size()) +
+                   " columns, need at least target,group)",
+               {source, 0, ""}});
     if (table.header[table.header.size() - 2] != "target" ||
         table.header.back() != "group") {
-        fatal("datasetFromCsv: last columns must be target,group");
+        raise({ErrorCode::Schema,
+               "last columns must be target,group (got '" +
+                   table.header[table.header.size() - 2] + "','" +
+                   table.header.back() + "')",
+               {source, 0, ""}});
     }
 
     const std::size_t numFeatures = table.header.size() - 2;
     Dataset data({table.header.begin(),
                   table.header.begin() +
                       static_cast<long>(numFeatures)});
-    for (const auto& row : table.rows) {
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        const auto& row = table.rows[r];
         if (row.size() != table.header.size())
-            fatal("datasetFromCsv: short row");
+            raise({ErrorCode::Schema,
+                   "row has " + std::to_string(row.size()) +
+                       " cells, expected " +
+                       std::to_string(table.header.size()),
+                   {source, r + 1, ""}});
         std::vector<double> features;
         features.reserve(numFeatures);
         for (std::size_t f = 0; f < numFeatures; ++f) {
-            try {
-                features.push_back(std::stod(row[f]));
-            } catch (const std::exception&) {
-                fatal("datasetFromCsv: bad numeric cell '" + row[f] + "'");
-            }
+            features.push_back(
+                parseDouble(row[f]).orThrow(
+                    {source, r + 1, table.header[f]}));
         }
-        double target = 0.0;
-        try {
-            target = std::stod(row[numFeatures]);
-        } catch (const std::exception&) {
-            fatal("datasetFromCsv: bad target cell");
-        }
+        const double target = parseDouble(row[numFeatures])
+                                  .orThrow({source, r + 1, "target"});
         data.addRow(std::move(features), target, row.back());
     }
     return data;
@@ -81,10 +90,10 @@ writeDatasetFile(const Dataset& data, const std::string& path)
 {
     std::ofstream out(path, std::ios::binary);
     if (!out)
-        fatal("writeDatasetFile: cannot open " + path);
+        raise({ErrorCode::Io, "cannot open for writing", {path, 0, ""}});
     out << datasetToCsv(data);
     if (!out)
-        fatal("writeDatasetFile: write failed for " + path);
+        raise({ErrorCode::Io, "write failed", {path, 0, ""}});
 }
 
 Dataset
@@ -92,10 +101,12 @@ readDatasetFile(const std::string& path)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        fatal("readDatasetFile: cannot open " + path);
+        raise({ErrorCode::Io, "cannot open file", {path, 0, ""}});
     std::ostringstream ss;
     ss << in.rdbuf();
-    return datasetFromCsv(ss.str());
+    if (in.bad())
+        raise({ErrorCode::Io, "read failed", {path, 0, ""}});
+    return datasetFromCsv(ss.str(), path);
 }
 
 }  // namespace mapp::ml

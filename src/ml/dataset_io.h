@@ -19,15 +19,19 @@ std::string datasetToCsv(const Dataset& data);
 
 /**
  * Parse a dataset from CSV text produced by datasetToCsv (the last two
- * columns must be "target" and "group").
- * @throws FatalError on malformed input.
+ * columns must be "target" and "group"). Numeric cells are parsed
+ * strictly: trailing garbage, NaN/Inf and overflow are rejected so a
+ * corrupt cell cannot poison a trained model.
+ * @param source label for the text in error messages (e.g. its path)
+ * @throws InputError locating the offending row/column.
  */
-Dataset datasetFromCsv(const std::string& text);
+Dataset datasetFromCsv(const std::string& text,
+                       const std::string& source = "");
 
-/** Write a dataset to a file. @throws FatalError on I/O failure. */
+/** Write a dataset to a file. @throws InputError on I/O failure. */
 void writeDatasetFile(const Dataset& data, const std::string& path);
 
-/** Read a dataset from a file. @throws FatalError on I/O failure. */
+/** Read a dataset from a file. @throws InputError on I/O or parse failure. */
 Dataset readDatasetFile(const std::string& path);
 
 }  // namespace mapp::ml

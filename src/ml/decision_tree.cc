@@ -64,6 +64,19 @@ DecisionTreeRegressor::fit(const std::vector<std::vector<double>>& rows,
 {
     if (rows.empty() || rows.size() != targets.size())
         fatal("DecisionTreeRegressor::fit: empty or mismatched data");
+    // A single NaN/Inf would silently corrupt every split score (any
+    // comparison with NaN is false), so reject the fit up front with a
+    // locatable message instead of training a poisoned model.
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (!std::isfinite(targets[r]))
+            fatal("DecisionTreeRegressor::fit: non-finite target at row " +
+                  std::to_string(r));
+        for (std::size_t f = 0; f < rows[r].size(); ++f) {
+            if (!std::isfinite(rows[r][f]))
+                fatal("DecisionTreeRegressor::fit: non-finite feature " +
+                      std::to_string(f) + " at row " + std::to_string(r));
+        }
+    }
 
     auto& registry = obs::defaultRegistry();
     const obs::ScopedTimer timer(registry, "ml.tree.fit_seconds");

@@ -2,6 +2,10 @@
  * @file
  * Regression error metrics. relativeErrorPercent implements the paper's
  * metric: |true - predicted| / true x 100 (Section VI).
+ *
+ * Every metric rejects NaN/Inf inputs with a FatalError: a non-finite
+ * truth or prediction means a corrupt value escaped the validated input
+ * boundaries, and averaging it in would silently fabricate a score.
  */
 
 #ifndef MAPP_ML_METRICS_H

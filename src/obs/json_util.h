@@ -52,12 +52,18 @@ appendJsonString(std::string& out, std::string_view text)
     out += '"';
 }
 
-/** Append @p v as a JSON number (non-finite values become 0). */
+/**
+ * Append @p v as a JSON number. JSON has no NaN/Inf literal; emitting 0
+ * instead would fabricate a data point in dashboards, so non-finite
+ * values become `null` and downstream viewers show a gap.
+ */
 inline void
 appendJsonNumber(std::string& out, double v)
 {
-    if (!std::isfinite(v))
-        v = 0.0;
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.17g", v);
     out += buf;

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/csv.h"
+#include "common/error.h"
 
 namespace {
 
@@ -55,6 +56,40 @@ TEST(Csv, ParseEmptyText)
     EXPECT_TRUE(t.rows.empty());
 }
 
+TEST(Csv, ParseQuotedCellWithCrLfInside)
+{
+    // CRLF inside quotes is cell content (the CR survives; only bare
+    // CRs outside quotes are line-ending noise and get dropped).
+    const auto t = parseCsv("a,b\r\n\"one\r\ntwo\",x\r\n");
+    ASSERT_EQ(t.rows.size(), 1u);
+    EXPECT_EQ(t.rows[0][0], "one\r\ntwo");
+    EXPECT_EQ(t.rows[0][1], "x");
+}
+
+TEST(Csv, TrailingCommaMakesEmptyLastCell)
+{
+    const auto t = parseCsv("a,b\n1,\n");
+    ASSERT_EQ(t.rows.size(), 1u);
+    ASSERT_EQ(t.rows[0].size(), 2u);
+    EXPECT_EQ(t.rows[0][1], "");
+}
+
+TEST(Csv, TrailingCommaAtEofWithoutNewline)
+{
+    const auto t = parseCsv("a,b\n1,");
+    ASSERT_EQ(t.rows.size(), 1u);
+    ASSERT_EQ(t.rows[0].size(), 2u);
+    EXPECT_EQ(t.rows[0][0], "1");
+    EXPECT_EQ(t.rows[0][1], "");
+}
+
+TEST(Csv, FinalRecordWithoutTrailingNewline)
+{
+    const auto t = parseCsv("a,b\n1,2");
+    ASSERT_EQ(t.rows.size(), 1u);
+    EXPECT_EQ(t.rows[0][1], "2");
+}
+
 TEST(Csv, EscapePlainCellUnchanged)
 {
     EXPECT_EQ(csvEscape("hello"), "hello");
@@ -90,6 +125,42 @@ TEST(Csv, NumericColumnMissingThrows)
 {
     const auto t = parseCsv("x\n1\n");
     EXPECT_THROW(t.numericColumn("nope"), std::runtime_error);
+}
+
+TEST(Csv, NumericColumnRejectsTrailingGarbage)
+{
+    // The old parser accepted "1.5abc" as 1.5; the strict one must
+    // refuse and name the column and data row.
+    const auto t = parseCsv("x,y\n1.5,0\n1.5abc,0\n", "bags.csv");
+    try {
+        (void)t.numericColumn("x");
+        FAIL() << "trailing garbage accepted";
+    } catch (const InputError& e) {
+        EXPECT_EQ(e.error().context().file, "bags.csv");
+        EXPECT_EQ(e.error().context().row, 2u);
+        EXPECT_EQ(e.error().context().column, "x");
+        EXPECT_NE(std::string(e.what()).find("1.5abc"),
+                  std::string::npos);
+    }
+}
+
+TEST(Csv, NumericColumnRejectsNanInfAndEmpty)
+{
+    EXPECT_THROW(parseCsv("x\nnan\n").numericColumn("x"), InputError);
+    EXPECT_THROW(parseCsv("x\ninf\n").numericColumn("x"), InputError);
+    EXPECT_THROW(parseCsv("x\n\"\"\n").numericColumn("x"), InputError);
+}
+
+TEST(Csv, NumericColumnShortRowIsLocated)
+{
+    const auto t = parseCsv("x,y\n1,2\n3\n");
+    try {
+        (void)t.numericColumn("y");
+        FAIL() << "short row accepted";
+    } catch (const InputError& e) {
+        EXPECT_EQ(e.error().code(), ErrorCode::Schema);
+        EXPECT_EQ(e.error().context().row, 2u);
+    }
 }
 
 TEST(Csv, ColumnIndexLookup)

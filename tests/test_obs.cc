@@ -6,6 +6,7 @@
 #include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -358,6 +359,25 @@ TEST(Registry, JsonSnapshotParses)
     EXPECT_DOUBLE_EQ(hist.at("sum").number, 3.0);
     ASSERT_EQ(hist.at("buckets").items.size(), 3u);
     EXPECT_DOUBLE_EQ(hist.at("buckets").items[1].number, 1.0);
+}
+
+TEST(Registry, NonFiniteGaugeExportsAsNull)
+{
+    // JSON has no NaN/Inf literal; rewriting to 0 would fabricate a
+    // data point in dashboards, so the exporter must emit null.
+    obs::Registry reg;
+    reg.gauge("bad.nan").set(std::numeric_limits<double>::quiet_NaN());
+    reg.gauge("bad.inf").set(std::numeric_limits<double>::infinity());
+    reg.gauge("good").set(1.5);
+
+    const std::string json = reg.toJson();
+    EXPECT_EQ(json.find('\0'), std::string::npos);
+    const JsonValue doc = JsonParser(json).parse();
+    EXPECT_EQ(doc.at("gauges").at("bad.nan").kind,
+              JsonValue::Kind::Null);
+    EXPECT_EQ(doc.at("gauges").at("bad.inf").kind,
+              JsonValue::Kind::Null);
+    EXPECT_DOUBLE_EQ(doc.at("gauges").at("good").number, 1.5);
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "common/stats.h"
@@ -72,6 +73,21 @@ TEST(Stats, PercentileInterpolates)
 {
     const std::vector<double> xs{0.0, 10.0};
     EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Stats, PercentileClampsOutOfRangeP)
+{
+    // Regression: p > 100 used to index sorted[size] out of bounds and
+    // a negative p wrapped to a huge index after the size_t cast.
+    const std::vector<double> xs{10.0, 20.0, 30.0};
+    EXPECT_DOUBLE_EQ(percentile(xs, 150.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, 1e9), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(xs, -1e9), 10.0);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_DOUBLE_EQ(percentile(xs, nan), 10.0);
+    EXPECT_DOUBLE_EQ(
+        percentile(xs, std::numeric_limits<double>::infinity()), 30.0);
 }
 
 TEST(Stats, PearsonPerfectPositive)
