@@ -1,0 +1,482 @@
+#include "ml/compiled_tree.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/parallel.h"
+#include "obs/metrics.h"
+
+namespace mapp::ml {
+
+namespace {
+
+/** Rows kept in flight per interleaved traversal block. */
+constexpr std::size_t kBlockRows = 32;
+
+/**
+ * Steps the fixed-step walk runs between "is every row at a leaf?"
+ * probes. Most rows exit well before the tree's depth bound; probing
+ * every few steps recovers that slack for the price of one
+ * well-predicted branch per probe (taken once, at the end).
+ */
+constexpr int kStepsPerProbe = 3;
+
+/** Rows per parallelFor task when a batch is split across lanes. */
+constexpr std::size_t kChunkRows = 256;
+
+/**
+ * Advance @p RowCount rows through one tree for a fixed @p steps
+ * comparisons, leaving each row's final node index in @p cur. Rows
+ * that reach a leaf early self-loop on it (the sentinel encoding), so
+ * there is no per-step termination branch and the RowCount dependent
+ * load chains proceed in parallel.
+ *
+ * The pointers are `__restrict__` on purpose: `cur` shares the
+ * int32_t type with the node arrays, and without the no-alias promise
+ * the compiler must reload node data after every row-state store —
+ * which serializes the row chains and erases the whole point of the
+ * interleaving. The walk advances a LOCAL state array `c` and copies
+ * it to `cur` only at the end: a local array with constant indices
+ * (RowCount is a template parameter and the loops unroll completely)
+ * is register-promotable, so the per-step state update costs no
+ * load/store traffic on a kernel that is otherwise load-port bound.
+ *
+ * The split decision is the indexed load kids[2c + !(x <= t)]: the
+ * comparison materializes as a SETcc feeding an address, never a
+ * conditional branch (data-dependent splits mispredict ~50% and a
+ * mispredict per level would cost more than the whole level). The
+ * !(x <= t) form keeps NaN semantics identical to the oracle walk
+ * (NaN fails <=, so it routes right in both engines).
+ */
+template <std::size_t RowCount>
+__attribute__((noinline)) void
+walkBlock(const std::int32_t* __restrict__ feature,
+          const double* __restrict__ threshold,
+          const std::int32_t* __restrict__ kids, std::int32_t root,
+          int steps, const double* __restrict__ rows,
+          std::size_t n_features, double* __restrict__ out,
+          bool accumulate)
+{
+    std::int32_t c[RowCount];
+    for (std::size_t i = 0; i < RowCount; ++i)
+        c[i] = root;
+    for (int s = 0; s < steps;) {
+        const int stop = std::min(steps, s + kStepsPerProbe - 1);
+        for (; s < stop; ++s) {
+            for (std::size_t i = 0; i < RowCount; ++i) {
+                const auto n = static_cast<std::size_t>(c[i]);
+                const double x =
+                    rows[i * n_features +
+                         static_cast<std::size_t>(feature[n])];
+                const auto go =
+                    static_cast<std::size_t>(!(x <= threshold[n]));
+                c[i] = kids[2 * n + go];
+            }
+        }
+        if (s >= steps)
+            break;
+        // Probe step: same walk, but fold "did any row move?" into
+        // the step itself (a leaf self-loops, so next == c iff the
+        // row is done) — the check reuses values already in flight
+        // instead of a separate pass over the block.
+        bool done = true;
+        for (std::size_t i = 0; i < RowCount; ++i) {
+            const auto n = static_cast<std::size_t>(c[i]);
+            const double x =
+                rows[i * n_features +
+                     static_cast<std::size_t>(feature[n])];
+            const auto go =
+                static_cast<std::size_t>(!(x <= threshold[n]));
+            const std::int32_t next = kids[2 * n + go];
+            done &= next == c[i];
+            c[i] = next;
+        }
+        ++s;
+        if (done)
+            break;  // self-loop sentinel: extra steps are no-ops
+    }
+    // Fused output: the final leaf values leave the walk directly —
+    // no row-state array crosses the call boundary, so the caller
+    // never re-loads what the walk just stored.
+    if (accumulate)
+        for (std::size_t i = 0; i < RowCount; ++i)
+            out[i] += threshold[static_cast<std::size_t>(c[i])];
+    else
+        for (std::size_t i = 0; i < RowCount; ++i)
+            out[i] = threshold[static_cast<std::size_t>(c[i])];
+}
+
+/** Runtime-count tail variant for the final few rows. */
+__attribute__((noinline)) void
+walkBlockTail(const std::int32_t* __restrict__ feature,
+              const double* __restrict__ threshold,
+              const std::int32_t* __restrict__ kids, std::int32_t root,
+              int steps, const double* __restrict__ rows,
+              std::size_t n_features, std::size_t row_count,
+              double* __restrict__ out, bool accumulate)
+{
+    std::int32_t cur[kBlockRows];
+    for (std::size_t i = 0; i < row_count; ++i)
+        cur[i] = root;
+    for (int s = 0; s < steps;) {
+        const int stop = std::min(steps, s + kStepsPerProbe - 1);
+        for (; s < stop; ++s) {
+            for (std::size_t i = 0; i < row_count; ++i) {
+                const auto n = static_cast<std::size_t>(cur[i]);
+                const double x =
+                    rows[i * n_features +
+                         static_cast<std::size_t>(feature[n])];
+                const auto go =
+                    static_cast<std::size_t>(!(x <= threshold[n]));
+                cur[i] = kids[2 * n + go];
+            }
+        }
+        if (s >= steps)
+            break;
+        bool done = true;
+        for (std::size_t i = 0; i < row_count; ++i) {
+            const auto n = static_cast<std::size_t>(cur[i]);
+            const double x =
+                rows[i * n_features +
+                     static_cast<std::size_t>(feature[n])];
+            const auto go =
+                static_cast<std::size_t>(!(x <= threshold[n]));
+            const std::int32_t next = kids[2 * n + go];
+            done &= next == cur[i];
+            cur[i] = next;
+        }
+        ++s;
+        if (done)
+            break;  // self-loop sentinel: extra steps are no-ops
+    }
+    if (accumulate)
+        for (std::size_t i = 0; i < row_count; ++i)
+            out[i] += threshold[static_cast<std::size_t>(cur[i])];
+    else
+        for (std::size_t i = 0; i < row_count; ++i)
+            out[i] = threshold[static_cast<std::size_t>(cur[i])];
+}
+
+void
+checkBatchShape(const char* who, std::size_t flat, std::size_t n_features,
+                std::size_t n_rows)
+{
+    if (flat != n_features * n_rows)
+        fatal(std::string(who) +
+              ": rowMajor size does not equal nFeatures * out size");
+}
+
+void
+countBatch(std::size_t rows)
+{
+    // Cached references: the registry owns its counters for the
+    // process lifetime, and a string-keyed map lookup per batch would
+    // cost more than a small batch's entire traversal.
+    static obs::Counter& batches =
+        obs::defaultRegistry().counter("ml.inference.batches");
+    static obs::Counter& batchRows =
+        obs::defaultRegistry().counter("ml.inference.batch_rows");
+    batches.add(1);
+    batchRows.add(rows);
+}
+
+/**
+ * Walk @p count (<= kBlockRows) rows through one tree, cascading down
+ * power-of-two instantiations so nearly every row runs fully unrolled
+ * codegen; only a <4-row remainder takes the rolled tail. A partial
+ * final block would otherwise put up to kBlockRows-1 rows — a third of
+ * a campaign-sized batch — through the slow path.
+ */
+inline void
+walkCascade(const std::int32_t* feature, const double* threshold,
+            const std::int32_t* kids, std::int32_t root, int steps,
+            const double* rows, std::size_t n_features,
+            std::size_t count, double* out, bool accumulate)
+{
+    std::size_t done = 0;
+    while (count - done >= 32) {
+        walkBlock<32>(feature, threshold, kids, root, steps,
+                      rows + done * n_features, n_features, out + done,
+                      accumulate);
+        done += 32;
+    }
+    if (count - done >= 16) {
+        walkBlock<16>(feature, threshold, kids, root, steps,
+                      rows + done * n_features, n_features, out + done,
+                      accumulate);
+        done += 16;
+    }
+    if (count - done >= 8) {
+        walkBlock<8>(feature, threshold, kids, root, steps,
+                     rows + done * n_features, n_features, out + done,
+                     accumulate);
+        done += 8;
+    }
+    if (count - done >= 4) {
+        walkBlock<4>(feature, threshold, kids, root, steps,
+                     rows + done * n_features, n_features, out + done,
+                     accumulate);
+        done += 4;
+    }
+    if (count > done)
+        walkBlockTail(feature, threshold, kids, root, steps,
+                      rows + done * n_features, n_features,
+                      count - done, out + done, accumulate);
+}
+
+/**
+ * One tree-batch chunk: rows [begin, end) through a single tree.
+ * Deliberately noinline — the kernel's block loop gets its own
+ * register allocation instead of being inlined into whichever caller
+ * dispatches it (inlining into predictBatch measurably degrades the
+ * unrolled walk's codegen).
+ */
+__attribute__((noinline)) void
+treeChunk(const std::int32_t* feature, const double* threshold,
+          const std::int32_t* kids, int steps, const double* row_major,
+          std::size_t n_features, double* out, std::size_t begin,
+          std::size_t end)
+{
+    double buf[kBlockRows];
+    for (std::size_t r0 = begin; r0 < end; r0 += kBlockRows) {
+        std::size_t count = end - r0;
+        std::size_t skip = 0;
+        if (count > kBlockRows) {
+            count = kBlockRows;
+        } else if (count < kBlockRows && end - begin >= kBlockRows) {
+            // Partial final block with enough history in this chunk:
+            // slide back to a full block and re-walk a few rows.
+            // Predictions are deterministic, so the overlapped slots
+            // are rewritten with identical values, and the overlap
+            // never leaves [begin, end) — no cross-chunk writes.
+            skip = kBlockRows - count;
+            r0 -= skip;
+            count = kBlockRows;
+        }
+        const double* rows = row_major + r0 * n_features;
+        if (skip == 0) {
+            walkCascade(feature, threshold, kids, 0, steps, rows,
+                        n_features, count, out + r0, false);
+        } else {
+            walkCascade(feature, threshold, kids, 0, steps, rows,
+                        n_features, count, buf, false);
+            for (std::size_t i = skip; i < count; ++i)
+                out[r0 + i] = buf[i];
+        }
+    }
+}
+
+/** One forest-batch chunk: rows [begin, end) through every tree,
+ * accumulating per-row sums in tree order (bit-identical to the
+ * reference per-row ensemble walk). Noinline for the same reason as
+ * treeChunk. */
+__attribute__((noinline)) void
+forestChunk(const std::int32_t* feature, const double* threshold,
+            const std::int32_t* kids, const std::int32_t* roots,
+            const int* steps, std::size_t n_trees,
+            const double* row_major, std::size_t n_features,
+            double* out, std::size_t begin, std::size_t end)
+{
+    double acc[kBlockRows];
+    const auto divisor = static_cast<double>(n_trees);
+    for (std::size_t r0 = begin; r0 < end; r0 += kBlockRows) {
+        std::size_t count = end - r0;
+        std::size_t skip = 0;
+        if (count > kBlockRows) {
+            count = kBlockRows;
+        } else if (count < kBlockRows && end - begin >= kBlockRows) {
+            // Same backward overlap as treeChunk: the accumulator is
+            // per-block, so re-walking a few already-written rows just
+            // recomputes identical sums — only the out writes skip the
+            // overlapped prefix.
+            skip = kBlockRows - count;
+            r0 -= skip;
+            count = kBlockRows;
+        }
+        const double* rows = row_major + r0 * n_features;
+        for (std::size_t i = 0; i < count; ++i)
+            acc[i] = 0.0;
+        // Trees outer, rows inner: each tree's arrays stay hot across
+        // the block while every row still sums in tree order.
+        for (std::size_t t = 0; t < n_trees; ++t)
+            walkCascade(feature, threshold, kids, roots[t], steps[t],
+                        rows, n_features, count, acc, true);
+        for (std::size_t i = skip; i < count; ++i)
+            out[r0 + i] = acc[i] / divisor;
+    }
+}
+
+}  // namespace
+
+CompiledTree::CompiledTree(const DecisionTreeRegressor& tree)
+{
+    if (!tree.trained())
+        fatal("CompiledTree: source tree not trained");
+    const std::size_t n = tree.nodeCount();
+    feature_.reserve(n);
+    left_.reserve(n);
+    right_.reserve(n);
+    kids_.reserve(2 * n);
+    threshold_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto v = tree.nodeView(i);
+        if (v.leaf) {
+            feature_.push_back(0);
+            threshold_.push_back(v.value);
+            left_.push_back(static_cast<std::int32_t>(i));
+            right_.push_back(static_cast<std::int32_t>(i));
+        } else {
+            feature_.push_back(v.feature);
+            threshold_.push_back(v.threshold);
+            left_.push_back(v.left);
+            right_.push_back(v.right);
+        }
+        kids_.push_back(left_.back());
+        kids_.push_back(right_.back());
+    }
+    steps_ = tree.depth();
+}
+
+double
+CompiledTree::predict(std::span<const double> x) const
+{
+    if (!compiled())
+        fatal("CompiledTree::predict: not compiled");
+    std::int32_t cur = 0;
+    while (left_[static_cast<std::size_t>(cur)] != cur) {
+        const auto c = static_cast<std::size_t>(cur);
+        cur = x[static_cast<std::size_t>(feature_[c])] <= threshold_[c]
+                  ? left_[c]
+                  : right_[c];
+    }
+    return threshold_[static_cast<std::size_t>(cur)];
+}
+
+void
+CompiledTree::predictBatch(std::span<const double> rowMajor,
+                           std::size_t nFeatures,
+                           std::span<double> out) const
+{
+    if (!compiled())
+        fatal("CompiledTree::predictBatch: not compiled");
+    const std::size_t nRows = out.size();
+    checkBatchShape("CompiledTree::predictBatch", rowMajor.size(),
+                    nFeatures, nRows);
+    if (nRows == 0)
+        return;
+    countBatch(nRows);
+
+    const std::size_t nChunks = (nRows + kChunkRows - 1) / kChunkRows;
+    parallel::parallelFor(nChunks, [&](std::size_t chunk) {
+        const std::size_t begin = chunk * kChunkRows;
+        const std::size_t end = std::min(begin + kChunkRows, nRows);
+        treeChunk(feature_.data(), threshold_.data(), kids_.data(),
+                  steps_, rowMajor.data(), nFeatures, out.data(),
+                  begin, end);
+    });
+}
+
+std::vector<double>
+CompiledTree::predict(const Dataset& data) const
+{
+    const auto flat = data.toRowMajor();
+    std::vector<double> out(data.size());
+    predictBatch(flat, data.numFeatures(), out);
+    return out;
+}
+
+CompiledForest::CompiledForest(const RandomForestRegressor& forest)
+{
+    if (!forest.trained())
+        fatal("CompiledForest: source forest not trained");
+    const auto& trees = forest.trees();
+    std::size_t total = 0;
+    for (const auto& tree : trees)
+        total += tree.nodeCount();
+    feature_.reserve(total);
+    left_.reserve(total);
+    right_.reserve(total);
+    kids_.reserve(2 * total);
+    threshold_.reserve(total);
+    roots_.reserve(trees.size());
+    steps_.reserve(trees.size());
+    for (const auto& tree : trees) {
+        const auto base =
+            static_cast<std::int32_t>(feature_.size());
+        roots_.push_back(base);
+        steps_.push_back(tree.depth());
+        const std::size_t n = tree.nodeCount();
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto v = tree.nodeView(i);
+            if (v.leaf) {
+                feature_.push_back(0);
+                threshold_.push_back(v.value);
+                left_.push_back(base + static_cast<std::int32_t>(i));
+                right_.push_back(base + static_cast<std::int32_t>(i));
+            } else {
+                feature_.push_back(v.feature);
+                threshold_.push_back(v.threshold);
+                left_.push_back(base + v.left);
+                right_.push_back(base + v.right);
+            }
+            kids_.push_back(left_.back());
+            kids_.push_back(right_.back());
+        }
+    }
+}
+
+double
+CompiledForest::predict(std::span<const double> x) const
+{
+    if (!compiled())
+        fatal("CompiledForest::predict: not compiled");
+    double acc = 0.0;
+    for (std::int32_t root : roots_) {
+        std::int32_t cur = root;
+        while (left_[static_cast<std::size_t>(cur)] != cur) {
+            const auto c = static_cast<std::size_t>(cur);
+            cur = x[static_cast<std::size_t>(feature_[c])] <=
+                          threshold_[c]
+                      ? left_[c]
+                      : right_[c];
+        }
+        acc += threshold_[static_cast<std::size_t>(cur)];
+    }
+    return acc / static_cast<double>(roots_.size());
+}
+
+void
+CompiledForest::predictBatch(std::span<const double> rowMajor,
+                             std::size_t nFeatures,
+                             std::span<double> out) const
+{
+    if (!compiled())
+        fatal("CompiledForest::predictBatch: not compiled");
+    const std::size_t nRows = out.size();
+    checkBatchShape("CompiledForest::predictBatch", rowMajor.size(),
+                    nFeatures, nRows);
+    if (nRows == 0)
+        return;
+    countBatch(nRows);
+
+    const std::size_t nChunks = (nRows + kChunkRows - 1) / kChunkRows;
+    parallel::parallelFor(nChunks, [&](std::size_t chunk) {
+        const std::size_t begin = chunk * kChunkRows;
+        const std::size_t end = std::min(begin + kChunkRows, nRows);
+        forestChunk(feature_.data(), threshold_.data(), kids_.data(),
+                    roots_.data(), steps_.data(), roots_.size(),
+                    rowMajor.data(), nFeatures, out.data(), begin,
+                    end);
+    });
+}
+
+std::vector<double>
+CompiledForest::predict(const Dataset& data) const
+{
+    const auto flat = data.toRowMajor();
+    std::vector<double> out(data.size());
+    predictBatch(flat, data.numFeatures(), out);
+    return out;
+}
+
+}  // namespace mapp::ml

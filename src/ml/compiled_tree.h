@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The compiled batch-inference engine: CompiledTree/CompiledForest
+ * flatten a trained DecisionTreeRegressor/RandomForestRegressor into
+ * contiguous structure-of-arrays node storage for cache-friendly,
+ * allocation-free traversal, plus a batched predictBatch() that walks
+ * blocks of samples through the flat arrays and dispatches large
+ * batches over the parallel execution layer.
+ *
+ * Node layout (one slot per node, root at index 0 of each tree):
+ *  - feature[i]   int32  feature tested at node i (0 for leaves)
+ *  - threshold[i] double split threshold — or, at a leaf, the LEAF
+ *                        VALUE (the sentinel encoding: a leaf never
+ *                        wins or loses a comparison, see below)
+ *  - left[i]/right[i] int32 child indices; a leaf points BOTH at
+ *                        itself (left == right == i)
+ *
+ * Leaves are folded into this self-loop sentinel so the batch kernel
+ * needs no per-step "is this row done?" branch: every row in a block
+ * takes exactly depth() comparison steps — rows that reach a leaf
+ * early just spin on it (any comparison routes to the same node) —
+ * and the final threshold load IS the prediction. The kernel also
+ * keeps the children INTERLEAVED (kids[2i] = left, kids[2i+1] =
+ * right), so the split decision is an indexed load
+ * `kids[2*node + (x > threshold)]` — a SETcc-fed address, never a
+ * conditional branch or cmov the compiler could turn back into a
+ * 50%-mispredicting jump. With no branches in the loop the CPU
+ * overlaps the dependent node-load chains of every row in the block,
+ * which is where the batch speedup comes from; one-sample predict()
+ * instead early-exits on left[i] == i.
+ *
+ * Compiled predictions are bit-identical to the node-walk reference:
+ * the traversal evaluates exactly the same x[feature] <= threshold
+ * comparisons on the same doubles, and CompiledForest accumulates
+ * per-row tree sums in tree order before the same final division.
+ * The node walk in DecisionTreeRegressor stays as the oracle;
+ * tests/test_inference.cc fuzzes the equivalence.
+ */
+
+#ifndef MAPP_ML_COMPILED_TREE_H
+#define MAPP_ML_COMPILED_TREE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+
+namespace mapp::ml {
+
+/** A DecisionTreeRegressor flattened into SoA node arrays. */
+class CompiledTree
+{
+  public:
+    /** An empty, un-compiled engine (predict() throws). */
+    CompiledTree() = default;
+
+    /** Flatten @p tree. @throws FatalError if the tree is untrained. */
+    explicit CompiledTree(const DecisionTreeRegressor& tree);
+
+    bool compiled() const { return !feature_.empty(); }
+    std::size_t nodeCount() const { return feature_.size(); }
+
+    /** Comparison steps a batch row takes (the source tree's depth). */
+    int steps() const { return steps_; }
+
+    /** Predict one sample (early-exit walk over the flat arrays). */
+    double predict(std::span<const double> x) const;
+
+    /**
+     * Predict a row-major batch: sample r occupies
+     * rowMajor[r*nFeatures .. (r+1)*nFeatures) and its prediction is
+     * written to out[r] (out.size() rows). Large batches are split
+     * into chunks across parallel::parallelFor lanes; every chunk
+     * writes only its own out slots, so the result is bit-identical
+     * at any thread count.
+     */
+    void predictBatch(std::span<const double> rowMajor,
+                      std::size_t nFeatures,
+                      std::span<double> out) const;
+
+    /** Predict every row of a dataset (flatten once, then batch). */
+    std::vector<double> predict(const Dataset& data) const;
+
+  private:
+    std::vector<std::int32_t> feature_;
+    std::vector<std::int32_t> left_;
+    std::vector<std::int32_t> right_;
+    std::vector<std::int32_t> kids_;  ///< interleaved {left,right}
+    std::vector<double> threshold_;
+    int steps_ = 0;
+};
+
+/**
+ * A RandomForestRegressor flattened into ONE set of SoA node arrays
+ * (trees concatenated, per-tree root offsets), predicting the mean
+ * over trees exactly like the reference ensemble.
+ */
+class CompiledForest
+{
+  public:
+    CompiledForest() = default;
+
+    /** Flatten @p forest. @throws FatalError if untrained. */
+    explicit CompiledForest(const RandomForestRegressor& forest);
+
+    bool compiled() const { return !roots_.empty(); }
+    std::size_t treeCount() const { return roots_.size(); }
+    std::size_t nodeCount() const { return feature_.size(); }
+
+    /** Predict one sample (mean over trees, tree order). */
+    double predict(std::span<const double> x) const;
+
+    /** Batched prediction; same contract as CompiledTree. */
+    void predictBatch(std::span<const double> rowMajor,
+                      std::size_t nFeatures,
+                      std::span<double> out) const;
+
+    /** Predict every row of a dataset (flatten once, then batch). */
+    std::vector<double> predict(const Dataset& data) const;
+
+  private:
+    std::vector<std::int32_t> feature_;
+    std::vector<std::int32_t> left_;
+    std::vector<std::int32_t> right_;
+    std::vector<std::int32_t> kids_;  ///< interleaved {left,right}
+    std::vector<double> threshold_;
+    std::vector<std::int32_t> roots_;  ///< root node index per tree
+    std::vector<int> steps_;           ///< per-tree depth
+};
+
+}  // namespace mapp::ml
+
+#endif  // MAPP_ML_COMPILED_TREE_H

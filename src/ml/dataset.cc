@@ -31,6 +31,16 @@ Dataset::addRow(std::vector<double> features, double target,
     groups_.push_back(std::move(group));
 }
 
+std::vector<double>
+Dataset::toRowMajor() const
+{
+    std::vector<double> flat;
+    flat.reserve(rows_.size() * names_.size());
+    for (const auto& row : rows_)
+        flat.insert(flat.end(), row.begin(), row.end());
+    return flat;
+}
+
 int
 Dataset::featureIndex(const std::string& name) const
 {

@@ -47,6 +47,13 @@ class Dataset
     const std::vector<std::vector<double>>& rows() const { return rows_; }
     const std::vector<double>& targets() const { return targets_; }
 
+    /**
+     * Flatten the feature matrix into one contiguous row-major buffer
+     * (row r at [r*numFeatures(), (r+1)*numFeatures())) — the layout
+     * the compiled batch-inference engine consumes.
+     */
+    std::vector<double> toRowMajor() const;
+
     /** Index of a named feature, or -1. */
     int featureIndex(const std::string& name) const;
 

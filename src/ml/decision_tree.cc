@@ -298,11 +298,41 @@ DecisionTreeRegressor::predict(std::span<const double> x) const
 std::vector<double>
 DecisionTreeRegressor::predict(const Dataset& data) const
 {
-    std::vector<double> out;
-    out.reserve(data.size());
-    for (std::size_t i = 0; i < data.size(); ++i)
-        out.push_back(predict(data.row(i)));
+    if (nodes_.empty())
+        fatal("DecisionTreeRegressor::predict: model not trained");
+    // Sized up front and walked without the per-call trained check:
+    // this loop is the oracle the compiled engine is checked against,
+    // so it stays a plain node walk, just not a needlessly slow one.
+    std::vector<double> out(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto& x = data.row(i);
+        int cur = 0;
+        while (!nodes_[static_cast<std::size_t>(cur)].leaf) {
+            const Node& node = nodes_[static_cast<std::size_t>(cur)];
+            cur = x[static_cast<std::size_t>(node.feature)] <=
+                          node.threshold
+                      ? node.left
+                      : node.right;
+        }
+        out[i] = nodes_[static_cast<std::size_t>(cur)].value;
+    }
     return out;
+}
+
+TreeNodeView
+DecisionTreeRegressor::nodeView(std::size_t i) const
+{
+    if (i >= nodes_.size())
+        fatal("DecisionTreeRegressor::nodeView: index out of range");
+    const Node& node = nodes_[i];
+    TreeNodeView v;
+    v.leaf = node.leaf;
+    v.feature = node.feature;
+    v.threshold = node.threshold;
+    v.value = node.value;
+    v.left = node.left;
+    v.right = node.right;
+    return v;
 }
 
 std::vector<DecisionStep>

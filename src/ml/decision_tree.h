@@ -45,6 +45,21 @@ struct DecisionStep
     bool wentLeft = false;
 };
 
+/**
+ * Read-only view of one tree node, exposed so external engines (the
+ * compiled SoA inference layer) can flatten a trained tree without
+ * depending on the private storage layout.
+ */
+struct TreeNodeView
+{
+    bool leaf = true;
+    int feature = -1;
+    double threshold = 0.0;
+    double value = 0.0;
+    int left = -1;
+    int right = -1;
+};
+
 /** A CART regression tree. */
 class DecisionTreeRegressor
 {
@@ -79,6 +94,10 @@ class DecisionTreeRegressor
 
     /** Total number of nodes (internal + leaves). */
     std::size_t nodeCount() const { return nodes_.size(); }
+
+    /** View of node @p i (root is 0). @throws FatalError if out of
+     *  range. */
+    TreeNodeView nodeView(std::size_t i) const;
 
     /** Depth actually reached. */
     int depth() const;

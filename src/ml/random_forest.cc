@@ -68,10 +68,20 @@ RandomForestRegressor::predict(std::span<const double> x) const
 std::vector<double>
 RandomForestRegressor::predict(const Dataset& data) const
 {
-    std::vector<double> out;
-    out.reserve(data.size());
-    for (std::size_t i = 0; i < data.size(); ++i)
-        out.push_back(predict(data.row(i)));
+    if (trees_.empty())
+        fatal("RandomForestRegressor::predict: model not trained");
+    // One pass per tree with the rows inner: each tree's nodes stay
+    // hot across the whole dataset instead of re-walking the entire
+    // ensemble per row. Every row still sums its tree contributions
+    // in tree order, so the result is bit-identical to the per-row
+    // ensemble walk.
+    std::vector<double> out(data.size(), 0.0);
+    for (const auto& tree : trees_)
+        for (std::size_t i = 0; i < data.size(); ++i)
+            out[i] += tree.predict(data.row(i));
+    const auto n = static_cast<double>(trees_.size());
+    for (auto& v : out)
+        v /= n;
     return out;
 }
 

@@ -52,6 +52,12 @@ class RandomForestRegressor
     std::size_t treeCount() const { return trees_.size(); }
     bool trained() const { return !trees_.empty(); }
 
+    /** The fitted trees (read-only; used by the compiled engine). */
+    const std::vector<DecisionTreeRegressor>& trees() const
+    {
+        return trees_;
+    }
+
   private:
     RandomForestParams params_;
     std::vector<DecisionTreeRegressor> trees_;

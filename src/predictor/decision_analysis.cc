@@ -1,6 +1,7 @@
 #include "predictor/decision_analysis.h"
 
 #include <algorithm>
+#include <span>
 
 #include "common/log.h"
 
@@ -29,13 +30,18 @@ analyzeDecisionPaths(const ml::Dataset& raw, const PredictorParams& params,
         const auto& names = projected.featureNames();
 
         // Recreate the fold's normalization (same rule and data as the
-        // model applied internally during train()).
+        // model applied internally during train()), applied to the
+        // whole fold in place instead of per-row temporaries.
         RangeNormalizer norm;
         norm.fit(train.selectFeatures(params.scheme.featureNames()));
+        auto flat = projected.toRowMajor();
+        norm.applyBatchInPlace(
+            flat, RangeNormalizer::timeFeatureMask(names));
         const auto& tree = model.tree();
 
+        const std::size_t nF = projected.numFeatures();
         for (std::size_t i = 0; i < projected.size(); ++i) {
-            const auto row = norm.applyRow(projected, projected.row(i));
+            const std::span<const double> row(flat.data() + i * nF, nF);
 
             PathUsage usage;
             usage.pointLabel =

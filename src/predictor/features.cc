@@ -98,6 +98,35 @@ RangeNormalizer::apply(const ml::Dataset& data) const
     return out;
 }
 
+std::vector<char>
+RangeNormalizer::timeFeatureMask(const std::vector<std::string>& names)
+{
+    std::vector<char> mask(names.size(), 0);
+    for (std::size_t f = 0; f < names.size(); ++f)
+        mask[f] = isTimeFeature(names[f]) ? 1 : 0;
+    return mask;
+}
+
+void
+RangeNormalizer::applyBatchInPlace(std::span<double> rowMajor,
+                                   const std::vector<char>& time_mask) const
+{
+    const std::size_t nFeatures = time_mask.size();
+    if (nFeatures == 0) {
+        if (!rowMajor.empty())
+            fatal("RangeNormalizer::applyBatchInPlace: non-empty batch "
+                  "with an empty layout");
+        return;
+    }
+    if (rowMajor.size() % nFeatures != 0)
+        fatal("RangeNormalizer::applyBatchInPlace: buffer is not a "
+              "whole number of rows");
+    for (std::size_t base = 0; base < rowMajor.size(); base += nFeatures)
+        for (std::size_t f = 0; f < nFeatures; ++f)
+            if (time_mask[f])
+                rowMajor[base + f] /= scale_;
+}
+
 std::vector<double>
 RangeNormalizer::applyRow(const ml::Dataset& reference,
                           std::vector<double> row) const

@@ -15,6 +15,7 @@
 #define MAPP_PREDICTOR_FEATURES_H
 
 #include <array>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -81,6 +82,31 @@ class RangeNormalizer
     /** Scale one raw feature vector laid out like the dataset. */
     std::vector<double> applyRow(const ml::Dataset& reference,
                                  std::vector<double> row) const;
+
+    /**
+     * Which features of a layout are time-typed (1 = scaled by the
+     * normalizer). Computed once per layout so batch normalization
+     * never re-parses feature names per row.
+     */
+    static std::vector<char> timeFeatureMask(
+        const std::vector<std::string>& names);
+
+    /**
+     * Normalize a whole row-major batch in place: every row is laid
+     * out like @p time_mask (one flag per feature) and its time-typed
+     * entries are divided by the learned scale. No per-row
+     * temporaries. @throws FatalError if the buffer is not a whole
+     * number of rows.
+     */
+    void applyBatchInPlace(std::span<double> rowMajor,
+                           const std::vector<char>& time_mask) const;
+
+    /** Convert normalized predictions back to seconds, in place. */
+    void denormalizeInPlace(std::span<double> values) const
+    {
+        for (double& v : values)
+            v *= scale_;
+    }
 
     /** Convert a normalized prediction back to seconds. */
     double denormalizeTarget(double value) const { return value * scale_; }

@@ -132,7 +132,8 @@ KBagCollector::campaign(int k, int hetero_count,
 }
 
 KBagPredictor::KBagPredictor(int k, ml::DecisionTreeParams tree)
-    : k_(k), treeParams_(tree)
+    : k_(k), treeParams_(tree),
+      timeMask_(RangeNormalizer::timeFeatureMask(kBagFeatureNames(k)))
 {
     if (k < 2)
         fatal("KBagPredictor: k must be >= 2");
@@ -157,6 +158,7 @@ KBagPredictor::train(const std::vector<KBagPoint>& points)
     const auto prepared = normalizer_.apply(raw);
     tree_ = ml::DecisionTreeRegressor(treeParams_);
     tree_.fit(prepared);
+    compiled_ = ml::CompiledTree(tree_);
 }
 
 double
@@ -167,10 +169,30 @@ KBagPredictor::predict(const KBagPoint& point) const
     if (static_cast<int>(point.apps.size()) != k_)
         fatal("KBagPredictor::predict: bag size mismatch");
 
-    ml::Dataset layout(kBagFeatureNames(k_));
-    const auto row =
-        normalizer_.applyRow(layout, buildKBagVector(point));
-    return normalizer_.denormalizeTarget(tree_.predict(row));
+    auto row = buildKBagVector(point);
+    normalizer_.applyBatchInPlace(row, timeMask_);
+    return normalizer_.denormalizeTarget(compiled_.predict(row));
+}
+
+std::vector<double>
+KBagPredictor::predictBatch(const std::vector<KBagPoint>& points) const
+{
+    if (!tree_.trained())
+        fatal("KBagPredictor::predictBatch: model not trained");
+    const std::size_t nF = timeMask_.size();
+    std::vector<double> flat;
+    flat.reserve(points.size() * nF);
+    for (const auto& point : points) {
+        if (static_cast<int>(point.apps.size()) != k_)
+            fatal("KBagPredictor::predictBatch: bag size mismatch");
+        const auto row = buildKBagVector(point);
+        flat.insert(flat.end(), row.begin(), row.end());
+    }
+    normalizer_.applyBatchInPlace(flat, timeMask_);
+    std::vector<double> out(points.size());
+    compiled_.predictBatch(flat, nF, out);
+    normalizer_.denormalizeInPlace(out);
+    return out;
 }
 
 }  // namespace mapp::predictor

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "ml/compiled_tree.h"
 #include "ml/decision_tree.h"
 #include "predictor/data_collection.h"
 
@@ -91,13 +92,22 @@ class KBagPredictor
     /** Predict the GPU makespan of a measured k-bag's inputs. */
     double predict(const KBagPoint& point) const;
 
+    /**
+     * Predict a batch of k-bags in one pass through the compiled
+     * tree; element i equals predict(points[i]) bit for bit.
+     */
+    std::vector<double> predictBatch(
+        const std::vector<KBagPoint>& points) const;
+
     bool trained() const { return tree_.trained(); }
 
   private:
     int k_;
     ml::DecisionTreeParams treeParams_;
     ml::DecisionTreeRegressor tree_;
+    ml::CompiledTree compiled_;  ///< SoA engine over tree_
     RangeNormalizer normalizer_;
+    std::vector<char> timeMask_;  ///< per-feature flags, fixed by k
 };
 
 }  // namespace mapp::predictor

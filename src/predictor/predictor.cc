@@ -1,5 +1,7 @@
 #include "predictor/predictor.h"
 
+#include <algorithm>
+
 #include "common/log.h"
 #include "common/parallel.h"
 #include "ml/metrics.h"
@@ -10,6 +12,23 @@ namespace mapp::predictor {
 MultiAppPredictor::MultiAppPredictor(PredictorParams params)
     : params_(std::move(params))
 {
+    // Resolve the scheme's projection once: feature name -> index in
+    // the full bag vector, plus the time-feature flags batch
+    // normalization needs. Every predict() after this is free of
+    // string handling and Dataset temporaries.
+    schemeNames_ = params_.scheme.featureNames();
+    const auto bagNames = bagFeatureNames();
+    projection_.reserve(schemeNames_.size());
+    for (const auto& name : schemeNames_) {
+        const auto it =
+            std::find(bagNames.begin(), bagNames.end(), name);
+        if (it == bagNames.end())
+            fatal("MultiAppPredictor: scheme feature '" + name +
+                  "' is not a bag feature");
+        projection_.push_back(
+            static_cast<std::size_t>(it - bagNames.begin()));
+    }
+    timeMask_ = RangeNormalizer::timeFeatureMask(schemeNames_);
 }
 
 ml::Dataset
@@ -38,6 +57,21 @@ MultiAppPredictor::train(const ml::Dataset& raw)
     trainLayout_ = ml::Dataset(prepared.featureNames());
     tree_.emplace(params_.tree);
     tree_->fit(prepared);
+    compiled_ = ml::CompiledTree(*tree_);
+}
+
+std::vector<double>
+MultiAppPredictor::queryRow(const AppFeatures& a, const AppFeatures& b,
+                            double fairness) const
+{
+    const auto full = buildBagVector(a, b, fairness);
+    std::vector<double> row(projection_.size());
+    for (std::size_t k = 0; k < projection_.size(); ++k) {
+        row[k] = full[projection_[k]];
+        if (timeMask_[k])
+            row[k] /= normalizer_.scale();
+    }
+    return row;
 }
 
 double
@@ -46,15 +80,42 @@ MultiAppPredictor::predict(const AppFeatures& a, const AppFeatures& b,
 {
     if (!trained())
         fatal("MultiAppPredictor::predict: model not trained");
+    return normalizer_.denormalizeTarget(
+        compiled_.predict(queryRow(a, b, fairness)));
+}
 
-    // Build the full bag vector, project to the scheme, normalize.
-    ml::Dataset full(bagFeatureNames());
-    full.addRow(buildBagVector(a, b, fairness), 0.0, "");
-    const ml::Dataset projected =
-        full.selectFeatures(params_.scheme.featureNames());
-    const auto row =
-        normalizer_.applyRow(projected, projected.row(0));
-    return normalizer_.denormalizeTarget(tree_->predict(row));
+std::vector<double>
+MultiAppPredictor::predictBatch(const std::vector<BagQuery>& queries) const
+{
+    if (!trained())
+        fatal("MultiAppPredictor::predictBatch: model not trained");
+    const std::size_t nF = projection_.size();
+    std::vector<double> flat(queries.size() * nF);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto full = buildBagVector(queries[q].a, queries[q].b,
+                                         queries[q].fairness);
+        for (std::size_t k = 0; k < nF; ++k)
+            flat[q * nF + k] = full[projection_[k]];
+    }
+    normalizer_.applyBatchInPlace(flat, timeMask_);
+    std::vector<double> out(queries.size());
+    compiled_.predictBatch(flat, nF, out);
+    normalizer_.denormalizeInPlace(out);
+    return out;
+}
+
+std::vector<double>
+MultiAppPredictor::predictDataset(const ml::Dataset& raw_test) const
+{
+    if (!trained())
+        fatal("MultiAppPredictor::predictDataset: model not trained");
+    const ml::Dataset projected = raw_test.selectFeatures(schemeNames_);
+    auto flat = projected.toRowMajor();
+    normalizer_.applyBatchInPlace(flat, timeMask_);
+    std::vector<double> out(projected.size());
+    compiled_.predictBatch(flat, projected.numFeatures(), out);
+    normalizer_.denormalizeInPlace(out);
+    return out;
 }
 
 double
@@ -69,18 +130,24 @@ MultiAppPredictor::explain(const DataPoint& point) const
     if (!trained())
         fatal("MultiAppPredictor::explain: model not trained");
 
-    ml::Dataset full(bagFeatureNames());
-    full.addRow(buildBagVector(point.a, point.b, point.fairness), 0.0, "");
-    const ml::Dataset projected =
-        full.selectFeatures(params_.scheme.featureNames());
-    const auto row = normalizer_.applyRow(projected, projected.row(0));
+    const auto row = queryRow(point.a, point.b, point.fairness);
 
     Explanation e;
     e.predictedSeconds =
-        normalizer_.denormalizeTarget(tree_->predict(row));
+        normalizer_.denormalizeTarget(compiled_.predict(row));
+    // The decision path stays on the node-walk oracle: the compiled
+    // engine answers "what", the tree explains "why".
     e.path = tree_->decisionPath(row);
-    e.featureNames = projected.featureNames();
+    e.featureNames = schemeNames_;
     return e;
+}
+
+const ml::CompiledTree&
+MultiAppPredictor::compiledTree() const
+{
+    if (!trained())
+        fatal("MultiAppPredictor::compiledTree: model not trained");
+    return compiled_;
 }
 
 const ml::DecisionTreeRegressor&
@@ -124,17 +191,10 @@ MultiAppPredictor::looBenchmarkCv(const ml::Dataset& raw,
             MultiAppPredictor model(params);
             model.train(train);
 
-            // Evaluate in raw target units (the normalizer round-trips).
-            const ml::Dataset projected =
-                test.selectFeatures(params.scheme.featureNames());
-            std::vector<double> predictions;
-            predictions.reserve(test.size());
-            for (std::size_t i = 0; i < projected.size(); ++i) {
-                const auto row = model.normalizer_.applyRow(
-                    projected, projected.row(i));
-                predictions.push_back(model.normalizer_.denormalizeTarget(
-                    model.tree_->predict(row)));
-            }
+            // Evaluate in raw target units (the normalizer
+            // round-trips): one batched project + normalize +
+            // compiled traversal over the whole fold.
+            const auto predictions = model.predictDataset(test);
             fold.meanRelativeError = ml::meanRelativeErrorPercent(
                 test.targets(), predictions);
             fold.mse =
@@ -156,18 +216,8 @@ MultiAppPredictor::holdoutRelativeError(const ml::Dataset& raw,
 
     MultiAppPredictor model(params);
     model.train(train);
-
-    const ml::Dataset projected =
-        test.selectFeatures(params.scheme.featureNames());
-    std::vector<double> predictions;
-    predictions.reserve(test.size());
-    for (std::size_t i = 0; i < projected.size(); ++i) {
-        const auto row =
-            model.normalizer_.applyRow(projected, projected.row(i));
-        predictions.push_back(model.normalizer_.denormalizeTarget(
-            model.tree_->predict(row)));
-    }
-    return ml::meanRelativeErrorPercent(test.targets(), predictions);
+    return ml::meanRelativeErrorPercent(test.targets(),
+                                        model.predictDataset(test));
 }
 
 }  // namespace mapp::predictor

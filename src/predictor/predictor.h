@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "ml/compiled_tree.h"
 #include "ml/cross_validation.h"
 #include "ml/decision_tree.h"
 #include "predictor/data_collection.h"
@@ -29,6 +30,15 @@ struct PredictorParams
     FeatureScheme scheme;  ///< defaults to the full Table-IV vector
 
     PredictorParams() { scheme = fullScheme(); }
+};
+
+/** One what-if query for batched prediction: a candidate bag's two
+ *  apps (canonical order) and its CPU-measured fairness. */
+struct BagQuery
+{
+    AppFeatures a;
+    AppFeatures b;
+    double fairness = 0.0;
 };
 
 /** A prediction plus its explanation. */
@@ -58,8 +68,29 @@ class MultiAppPredictor
     double predict(const AppFeatures& a, const AppFeatures& b,
                    double fairness) const;
 
+    /**
+     * Predict a whole batch of what-if queries in one pass: one
+     * projection + normalization over a contiguous row-major buffer,
+     * then the compiled tree's batched traversal. Element i equals
+     * predict(queries[i].a, queries[i].b, queries[i].fairness) bit
+     * for bit.
+     */
+    std::vector<double> predictBatch(
+        const std::vector<BagQuery>& queries) const;
+
+    /**
+     * Predict every row of a raw (unnormalized, full-layout) dataset:
+     * project to the scheme, normalize the whole batch in place, run
+     * the compiled tree, denormalize in place. Used by the
+     * cross-validation fold evaluation and the figure benches.
+     */
+    std::vector<double> predictDataset(const ml::Dataset& raw_test) const;
+
     /** Predict with the decision path attached. */
     Explanation explain(const DataPoint& point) const;
+
+    /** The compiled inference engine (rebuilt on every train()). */
+    const ml::CompiledTree& compiledTree() const;
 
     /** The trained tree (for inspection). @throws if untrained. */
     const ml::DecisionTreeRegressor& tree() const;
@@ -88,10 +119,23 @@ class MultiAppPredictor
   private:
     ml::Dataset projectAndNormalizeTrain(const ml::Dataset& raw);
 
+    /** Build one projected + normalized query row (no Dataset, no
+     *  string lookups — the single-query hot path). */
+    std::vector<double> queryRow(const AppFeatures& a,
+                                 const AppFeatures& b,
+                                 double fairness) const;
+
     PredictorParams params_;
     std::optional<ml::DecisionTreeRegressor> tree_;
+    ml::CompiledTree compiled_;  ///< SoA engine over *tree_
     RangeNormalizer normalizer_;
     ml::Dataset trainLayout_;  ///< empty dataset carrying feature names
+    /** Scheme feature names, resolved once in the constructor. */
+    std::vector<std::string> schemeNames_;
+    /** Scheme feature -> index into the full bag vector. */
+    std::vector<std::size_t> projection_;
+    /** Per-scheme-feature time flags for batch normalization. */
+    std::vector<char> timeMask_;
 };
 
 }  // namespace mapp::predictor

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/log.h"
+#include "common/parallel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -42,55 +43,124 @@ CoScheduler::predictBag(const BagSpec& raw_spec) const
                           collector_.appFeatures(spec.b), fairness);
 }
 
-void
-CoScheduler::finalize(Schedule& schedule) const
+CoScheduler::Round
+CoScheduler::makeRound(const std::vector<BagMember>& jobs) const
 {
+    Round round;
+    std::vector<BagMember> distinct;
+    for (const auto& job : jobs) {
+        if (round.features.emplace(job, nullptr).second)
+            distinct.push_back(job);
+    }
+    // Warm each distinct member's collector entry concurrently; the
+    // collector's cache hands back stable references, so the round
+    // just keeps the pointers.
+    parallel::parallelFor(distinct.size(), [&](std::size_t i) {
+        collector_.appFeatures(distinct[i]);
+    });
+    for (auto& [member, features] : round.features)
+        features = &collector_.appFeatures(member);
+    return round;
+}
+
+std::vector<double>
+CoScheduler::scoreBags(const std::vector<BagSpec>& specs,
+                       Round& round) const
+{
+    // Specs must already be canonical (the cache key is the ordered
+    // member pair). Collect the pairs this round has not scored yet.
+    std::vector<std::pair<BagMember, BagMember>> fresh;
+    for (const auto& spec : specs) {
+        const auto key = std::make_pair(spec.a, spec.b);
+        if (round.scores.emplace(key, 0.0).second)
+            fresh.push_back(key);
+    }
+    if (!fresh.empty()) {
+        // The CPU-side fairness measurement dominates a candidate's
+        // cost; measure the uncached pairs across the pool lanes.
+        std::vector<double> fairness(fresh.size());
+        parallel::parallelFor(fresh.size(), [&](std::size_t i) {
+            fairness[i] = collector_.measureFairness(
+                BagSpec{fresh[i].first, fresh[i].second});
+        });
+        std::vector<BagQuery> queries;
+        queries.reserve(fresh.size());
+        for (std::size_t i = 0; i < fresh.size(); ++i)
+            queries.push_back({*round.features.at(fresh[i].first),
+                               *round.features.at(fresh[i].second),
+                               fairness[i]});
+        const auto predicted = model_.predictBatch(queries);
+        for (std::size_t i = 0; i < fresh.size(); ++i)
+            round.scores[fresh[i]] = predicted[i];
+    }
+    std::vector<double> out;
+    out.reserve(specs.size());
+    for (const auto& spec : specs)
+        out.push_back(round.scores.at(std::make_pair(spec.a, spec.b)));
+    return out;
+}
+
+void
+CoScheduler::finalize(Schedule& schedule, Round& round) const
+{
+    std::vector<BagSpec> specs;
+    specs.reserve(schedule.bags.size());
+    for (const auto& bag : schedule.bags)
+        specs.push_back(bag.spec.canonical());
+    const auto scores = scoreBags(specs, round);
+
     schedule.predictedTotalSeconds = 0.0;
-    for (auto& bag : schedule.bags) {
-        bag.predictedSeconds = predictBag(bag.spec);
-        schedule.predictedTotalSeconds += bag.predictedSeconds;
+    for (std::size_t i = 0; i < schedule.bags.size(); ++i) {
+        schedule.bags[i].predictedSeconds = scores[i];
+        schedule.predictedTotalSeconds += scores[i];
     }
     if (schedule.leftover) {
         schedule.predictedTotalSeconds +=
-            collector_.appFeatures(*schedule.leftover).gpuTime;
+            round.features.at(*schedule.leftover)->gpuTime;
     }
 }
 
 Schedule
-CoScheduler::pairFifo(std::vector<BagMember> jobs) const
+CoScheduler::pairFifo(std::vector<BagMember> jobs, Round& round) const
 {
     Schedule schedule;
     for (std::size_t i = 0; i + 1 < jobs.size(); i += 2)
         schedule.bags.push_back({BagSpec{jobs[i], jobs[i + 1]}, 0.0});
     if (jobs.size() % 2 == 1)
         schedule.leftover = jobs.back();
-    finalize(schedule);
+    finalize(schedule, round);
     return schedule;
 }
 
 Schedule
-CoScheduler::pairGreedy(std::vector<BagMember> jobs) const
+CoScheduler::pairGreedy(std::vector<BagMember> jobs, Round& round) const
 {
     Schedule schedule;
     while (jobs.size() >= 2) {
         const BagMember head = jobs.front();
         jobs.erase(jobs.begin());
+        // Score the head against every remaining partner in one
+        // batch instead of one predict() per pair.
+        std::vector<BagSpec> candidates;
+        candidates.reserve(jobs.size());
+        for (const auto& partner : jobs)
+            candidates.push_back(BagSpec{head, partner}.canonical());
+        const auto scores = scoreBags(candidates, round);
+
         std::size_t bestIdx = 0;
         double bestPred = std::numeric_limits<double>::infinity();
-        for (std::size_t i = 0; i < jobs.size(); ++i) {
-            const double pred = predictBag(BagSpec{head, jobs[i]});
-            if (pred < bestPred) {
-                bestPred = pred;
+        for (std::size_t i = 0; i < scores.size(); ++i) {
+            if (scores[i] < bestPred) {
+                bestPred = scores[i];
                 bestIdx = i;
             }
         }
-        schedule.bags.push_back(
-            {BagSpec{head, jobs[bestIdx]}.canonical(), bestPred});
+        schedule.bags.push_back({candidates[bestIdx], bestPred});
         jobs.erase(jobs.begin() + static_cast<long>(bestIdx));
     }
     if (!jobs.empty())
         schedule.leftover = jobs.front();
-    finalize(schedule);
+    finalize(schedule, round);
     return schedule;
 }
 
@@ -134,7 +204,8 @@ bestMatching(std::vector<BagMember>& pool,
 }  // namespace
 
 Schedule
-CoScheduler::pairExhaustive(std::vector<BagMember> jobs) const
+CoScheduler::pairExhaustive(std::vector<BagMember> jobs,
+                            Round& round) const
 {
     if (jobs.size() > 14)
         fatal("CoScheduler: exhaustive pairing limited to 14 jobs");
@@ -145,14 +216,16 @@ CoScheduler::pairExhaustive(std::vector<BagMember> jobs) const
         jobs.pop_back();
     }
 
-    // Memoize bag predictions: the matching enumeration revisits pairs.
-    std::map<std::pair<BagMember, BagMember>, double> cache;
-    auto cost = [&](const BagSpec& spec) {
-        const auto key = std::make_pair(spec.a, spec.b);
-        auto it = cache.find(key);
-        if (it == cache.end())
-            it = cache.emplace(key, predictBag(spec)).first;
-        return it->second;
+    // Score every unordered pair up front in one batch; the matching
+    // enumeration then reads predictions from the round cache.
+    std::vector<BagSpec> pairs;
+    pairs.reserve(jobs.size() * (jobs.size() + 1) / 2);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        for (std::size_t j = i + 1; j < jobs.size(); ++j)
+            pairs.push_back(BagSpec{jobs[i], jobs[j]}.canonical());
+    scoreBags(pairs, round);
+    auto cost = [&round](const BagSpec& spec) {
+        return round.scores.at(std::make_pair(spec.a, spec.b));
     };
 
     double bestTotal = std::numeric_limits<double>::infinity();
@@ -160,7 +233,7 @@ CoScheduler::pairExhaustive(std::vector<BagMember> jobs) const
     std::vector<ScheduledBag> current;
     bestMatching(jobs, current, 0.0, cost, bestTotal, best);
     schedule.bags = std::move(best);
-    finalize(schedule);
+    finalize(schedule, round);
     return schedule;
 }
 
@@ -168,6 +241,7 @@ Schedule
 CoScheduler::schedule(const std::vector<BagMember>& jobs,
                       PairingPolicy policy) const
 {
+    Round round = makeRound(jobs);
     const auto run = [&](const char* name, Schedule s) {
         obs::defaultRegistry().counter("scheduler.schedules").add(1);
         obs::defaultRegistry()
@@ -179,11 +253,11 @@ CoScheduler::schedule(const std::vector<BagMember>& jobs,
     };
     switch (policy) {
       case PairingPolicy::Fifo:
-        return run("fifo", pairFifo(jobs));
+        return run("fifo", pairFifo(jobs, round));
       case PairingPolicy::Greedy:
-        return run("greedy", pairGreedy(jobs));
+        return run("greedy", pairGreedy(jobs, round));
       case PairingPolicy::Exhaustive:
-        return run("exhaustive", pairExhaustive(jobs));
+        return run("exhaustive", pairExhaustive(jobs, round));
     }
     panic("CoScheduler::schedule: invalid policy");
 }

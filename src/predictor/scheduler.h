@@ -11,7 +11,9 @@
 #ifndef MAPP_PREDICTOR_SCHEDULER_H
 #define MAPP_PREDICTOR_SCHEDULER_H
 
+#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "predictor/data_collection.h"
@@ -68,10 +70,37 @@ class CoScheduler
     double measure(const Schedule& schedule) const;
 
   private:
-    Schedule pairFifo(std::vector<BagMember> jobs) const;
-    Schedule pairGreedy(std::vector<BagMember> jobs) const;
-    Schedule pairExhaustive(std::vector<BagMember> jobs) const;
-    void finalize(Schedule& schedule) const;
+    /**
+     * Per-scheduling-round caches. Every distinct job's single-app
+     * features are fetched from the collector exactly once per round
+     * (instead of twice per candidate evaluation), and every scored
+     * canonical pairing keeps its predicted time so the greedy loop,
+     * the matching enumeration and finalize() never re-measure or
+     * re-predict a pair.
+     */
+    struct Round
+    {
+        std::map<BagMember, const AppFeatures*> features;
+        std::map<std::pair<BagMember, BagMember>, double> scores;
+    };
+
+    /** Prefetch each distinct member's features (in parallel). */
+    Round makeRound(const std::vector<BagMember>& jobs) const;
+
+    /**
+     * Predicted time of every (canonical) candidate bag, scored in
+     * one batch: fairness for uncached pairs is measured across
+     * parallelFor lanes, then the model predicts all of them in a
+     * single compiled-tree batch.
+     */
+    std::vector<double> scoreBags(const std::vector<BagSpec>& specs,
+                                  Round& round) const;
+
+    Schedule pairFifo(std::vector<BagMember> jobs, Round& round) const;
+    Schedule pairGreedy(std::vector<BagMember> jobs, Round& round) const;
+    Schedule pairExhaustive(std::vector<BagMember> jobs,
+                            Round& round) const;
+    void finalize(Schedule& schedule, Round& round) const;
 
     const MultiAppPredictor& model_;
     DataCollector& collector_;
