@@ -11,13 +11,20 @@
  *   mapp_cli trace SIFT 40 <out.csv>  profile one workload and dump its
  *                                     phase trace
  *   mapp_cli tree                     print the trained decision tree
+ *   mapp_cli report <metrics.json> [predictions.jsonl|-] [trace.json|-]
+ *                                     render a markdown run report
+ *                                     from a previous run's sidecars
  *
  * Observability flags (valid before or after the command):
- *   --trace-out=<file>     record a Chrome-trace JSON of the run
- *                          (open in chrome://tracing or Perfetto)
- *   --timeline-out=<file>  plain-text timeline dump of the same events
- *   --metrics-out=<file>   write the metrics registry as JSON at exit
- *   --log-level=<level>    quiet | normal | verbose | debug
+ *   --trace-out=<file>        record a Chrome-trace JSON of the run
+ *                             (open in chrome://tracing or Perfetto)
+ *   --timeline-out=<file>     plain-text timeline dump of the events
+ *   --metrics-out=<file>      write the metrics registry JSON at exit
+ *   --metrics-prom-out=<file> same registry, Prometheus text format
+ *   --predictions-out=<file>  per-prediction provenance JSONL (enables
+ *                             the prediction audit log)
+ *   --audit-sample=<n>        record every n-th prediction (default 1)
+ *   --log-level=<level>       quiet | normal | verbose | debug
  */
 
 #include <cstdio>
@@ -33,7 +40,10 @@
 #include "common/parse.h"
 #include "isa/trace_io.h"
 #include "ml/dataset_io.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/report.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "predictor/data_collection.h"
@@ -54,11 +64,19 @@ usage()
                  "  mapp_cli predict <BENCH@BATCH> <BENCH@BATCH>\n"
                  "  mapp_cli trace <BENCH> <BATCH> <out.csv>\n"
                  "  mapp_cli tree\n"
+                 "  mapp_cli report <metrics.json> "
+                 "[predictions.jsonl|-] [trace.json|-]\n"
                  "flags:\n"
                  "  --trace-out=<file>     Chrome-trace JSON "
                  "(chrome://tracing, Perfetto)\n"
                  "  --timeline-out=<file>  plain-text event timeline\n"
                  "  --metrics-out=<file>   metrics registry JSON\n"
+                 "  --metrics-prom-out=<file>  Prometheus text "
+                 "exposition of the registry\n"
+                 "  --predictions-out=<file>   prediction provenance "
+                 "JSONL (enables the audit log)\n"
+                 "  --audit-sample=<n>     record every n-th "
+                 "prediction (default 1)\n"
                  "  --log-level=<level>    quiet|normal|verbose|debug\n"
                  "  --threads=<n>          parallel lanes (default: "
                  "MAPP_THREADS env, else all cores)\n");
@@ -71,6 +89,9 @@ struct ObsOptions
     std::string traceOut;
     std::string timelineOut;
     std::string metricsOut;
+    std::string metricsPromOut;
+    std::string predictionsOut;
+    int auditSample = 1;
 };
 
 /**
@@ -96,6 +117,19 @@ extractObsOptions(std::vector<std::string>& args)
             opts.timelineOut = *v;
         } else if (auto v = flagValue("--metrics-out=")) {
             opts.metricsOut = *v;
+        } else if (auto v = flagValue("--metrics-prom-out=")) {
+            opts.metricsPromOut = *v;
+        } else if (auto v = flagValue("--predictions-out=")) {
+            opts.predictionsOut = *v;
+        } else if (auto v = flagValue("--audit-sample=")) {
+            const auto period = parseBoundedInt(*v, 1, 1'000'000'000);
+            if (!period) {
+                std::fprintf(stderr,
+                             "error: bad audit sample period: %s\n",
+                             period.error().message().c_str());
+                return std::nullopt;
+            }
+            opts.auditSample = period.value();
         } else if (auto v = flagValue("--log-level=")) {
             const auto level = parseLogLevel(*v);
             if (!level) {
@@ -123,6 +157,11 @@ extractObsOptions(std::vector<std::string>& args)
     args = std::move(rest);
     if (!opts.traceOut.empty() || !opts.timelineOut.empty())
         obs::tracer().setEnabled(true);
+    if (!opts.predictionsOut.empty()) {
+        obs::predictionLog().setSamplePeriod(
+            static_cast<std::uint64_t>(opts.auditSample));
+        obs::predictionLog().setEnabled(true);
+    }
     return opts;
 }
 
@@ -147,6 +186,23 @@ writeObsOutputs(const ObsOptions& opts)
             inform("wrote metrics to " + opts.metricsOut);
         else
             warn("failed to write metrics to " + opts.metricsOut);
+    }
+    if (!opts.metricsPromOut.empty()) {
+        if (obs::writePrometheusFile(obs::defaultRegistry().snapshot(),
+                                     opts.metricsPromOut))
+            inform("wrote Prometheus metrics to " +
+                   opts.metricsPromOut);
+        else
+            warn("failed to write Prometheus metrics to " +
+                 opts.metricsPromOut);
+    }
+    if (!opts.predictionsOut.empty()) {
+        if (obs::predictionLog().writeJsonl(opts.predictionsOut))
+            inform("wrote prediction provenance to " +
+                   opts.predictionsOut);
+        else
+            warn("failed to write predictions to " +
+                 opts.predictionsOut);
     }
     if (logLevel() >= LogLevel::Verbose) {
         const std::string profile = obs::pipelineProfiler().toText();
@@ -242,8 +298,14 @@ cmdPredict(const std::string& a, const std::string& b)
 
     const auto truth = collector.collect(spec);
     const auto e = model.explain(truth);
+    // The measured bag doubles as ground truth for the online quality
+    // monitor (error histograms, drift gauges, audit annotation).
+    const auto evalSet = predictor::toDataset({truth});
+    model.observeGroundTruth(evalSet, model.predictDataset(evalSet));
     std::printf("bag %s\n", spec.canonical().label().c_str());
     std::printf("  predicted GPU time : %.6f s\n", e.predictedSeconds);
+    std::printf("  uncertainty (RMSE) : %.6f s\n",
+                e.uncertaintySeconds);
     std::printf("  measured GPU time  : %.6f s\n", truth.gpuBagTime);
     std::printf("  fairness (Eq. 2)   : %.3f\n", truth.fairness);
     std::printf("  decision path:\n");
@@ -266,6 +328,25 @@ cmdTrace(const std::string& bench, const std::string& batch,
     isa::writeTraceFile(trace, path);
     std::printf("%s\nwrote %zu phases to %s\n", trace.summary().c_str(),
                 trace.size(), path.c_str());
+    return 0;
+}
+
+int
+cmdReport(const std::vector<std::string>& args)
+{
+    obs::RunReportInputs inputs;
+    inputs.metricsPath = args[1];
+    if (args.size() > 2 && args[2] != "-")
+        inputs.predictionsPath = args[2];
+    if (args.size() > 3 && args[3] != "-")
+        inputs.tracePath = args[3];
+    const auto report = obs::renderRunReport(inputs);
+    if (!report.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     report.error().toString().c_str());
+        return 1;
+    }
+    std::fputs(report.value().c_str(), stdout);
     return 0;
 }
 
@@ -306,6 +387,8 @@ main(int argc, char** argv)
             status = cmdTrace(args[1], args[2], args[3]);
         else if (cmd == "tree" && n == 1)
             status = cmdTree();
+        else if (cmd == "report" && n >= 2 && n <= 4)
+            status = cmdReport(args);
     } catch (const FatalError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         writeObsOutputs(*opts);

@@ -352,6 +352,21 @@ CompiledTree::predict(std::span<const double> x) const
     return threshold_[static_cast<std::size_t>(cur)];
 }
 
+std::int32_t
+CompiledTree::predictLeaf(std::span<const double> x) const
+{
+    if (!compiled())
+        fatal("CompiledTree::predictLeaf: not compiled");
+    std::int32_t cur = 0;
+    while (left_[static_cast<std::size_t>(cur)] != cur) {
+        const auto c = static_cast<std::size_t>(cur);
+        cur = x[static_cast<std::size_t>(feature_[c])] <= threshold_[c]
+                  ? left_[c]
+                  : right_[c];
+    }
+    return cur;
+}
+
 void
 CompiledTree::predictBatch(std::span<const double> rowMajor,
                            std::size_t nFeatures,
@@ -441,6 +456,29 @@ CompiledForest::predict(std::span<const double> x) const
                       : right_[c];
         }
         acc += threshold_[static_cast<std::size_t>(cur)];
+    }
+    return acc / static_cast<double>(roots_.size());
+}
+
+double
+CompiledForest::predictVotes(std::span<const double> x,
+                             std::vector<double>& votes) const
+{
+    if (!compiled())
+        fatal("CompiledForest::predictVotes: not compiled");
+    votes.resize(roots_.size());
+    double acc = 0.0;
+    for (std::size_t t = 0; t < roots_.size(); ++t) {
+        std::int32_t cur = roots_[t];
+        while (left_[static_cast<std::size_t>(cur)] != cur) {
+            const auto c = static_cast<std::size_t>(cur);
+            cur = x[static_cast<std::size_t>(feature_[c])] <=
+                          threshold_[c]
+                      ? left_[c]
+                      : right_[c];
+        }
+        votes[t] = threshold_[static_cast<std::size_t>(cur)];
+        acc += votes[t];
     }
     return acc / static_cast<double>(roots_.size());
 }

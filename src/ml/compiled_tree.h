@@ -69,6 +69,14 @@ class CompiledTree
     double predict(std::span<const double> x) const;
 
     /**
+     * The flat-array index of the leaf @p x lands on. Leaf indices
+     * equal the source tree's node ids, so callers can key
+     * per-leaf lookaside tables (audit path summaries, residual RMSE)
+     * off the result without re-walking the reference tree.
+     */
+    std::int32_t predictLeaf(std::span<const double> x) const;
+
+    /**
      * Predict a row-major batch: sample r occupies
      * rowMajor[r*nFeatures .. (r+1)*nFeatures) and its prediction is
      * written to out[r] (out.size() rows). Large batches are split
@@ -111,6 +119,15 @@ class CompiledForest
 
     /** Predict one sample (mean over trees, tree order). */
     double predict(std::span<const double> x) const;
+
+    /**
+     * Per-tree votes for one sample: votes[t] is tree t's leaf value,
+     * resized to treeCount(). The ensemble prediction is their mean
+     * (summed in tree order — identical to predict()), returned so
+     * audit hooks get prediction + vote spread in one walk.
+     */
+    double predictVotes(std::span<const double> x,
+                        std::vector<double>& votes) const;
 
     /** Batched prediction; same contract as CompiledTree. */
     void predictBatch(std::span<const double> rowMajor,

@@ -330,6 +330,8 @@ DecisionTreeRegressor::nodeView(std::size_t i) const
     v.feature = node.feature;
     v.threshold = node.threshold;
     v.value = node.value;
+    v.sse = node.sse;
+    v.samples = node.samples;
     v.left = node.left;
     v.right = node.right;
     return v;

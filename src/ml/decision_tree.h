@@ -56,6 +56,8 @@ struct TreeNodeView
     int feature = -1;
     double threshold = 0.0;
     double value = 0.0;
+    double sse = 0.0;  ///< sum of squared target errors at the node
+    int samples = 0;   ///< training samples that reached the node
     int left = -1;
     int right = -1;
 };

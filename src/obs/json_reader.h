@@ -1,0 +1,89 @@
+/**
+ * @file
+ * A minimal JSON reader for the observability sidecars. The obs layer
+ * historically only *wrote* JSON; the `mapp_cli report` subcommand
+ * closes the loop by reading a run's metrics/predictions/trace files
+ * back, so this parser covers exactly the documents our own exporters
+ * emit (objects, arrays, strings with escapes, numbers, bools, null)
+ * and reports malformed input as a located mapp::Error instead of
+ * crashing or silently mis-reading.
+ */
+
+#ifndef MAPP_OBS_JSON_READER_H
+#define MAPP_OBS_JSON_READER_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mapp::obs {
+
+/** One parsed JSON value (a small recursive variant). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isObject() const { return kind_ == Kind::Object; }
+    bool isArray() const { return kind_ == Kind::Array; }
+
+    /** NaN unless this is a number. */
+    double number() const;
+
+    /** @p fallback unless this is a number. */
+    double numberOr(double fallback) const;
+
+    bool boolean() const { return boolean_; }
+
+    /** Empty unless this is a string. */
+    const std::string& text() const { return text_; }
+
+    /** Array elements (empty for non-arrays). */
+    const std::vector<JsonValue>& items() const { return items_; }
+
+    /** Object members in document order (empty for non-objects). */
+    const std::vector<std::pair<std::string, JsonValue>>& members() const
+    {
+        return members_;
+    }
+
+    /** Member value by key (objects only), or nullptr. */
+    const JsonValue* find(std::string_view key) const;
+
+    /** find() chained: the @p key member's @p inner member, etc. */
+    double memberNumberOr(std::string_view key, double fallback) const;
+
+    static JsonValue makeNull() { return JsonValue(); }
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue makeObject(
+        std::vector<std::pair<std::string, JsonValue>> members);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool boolean_ = false;
+    double number_ = 0.0;
+    std::string text_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse one JSON document. Trailing non-whitespace, unterminated
+ * strings, bad escapes, non-finite number spellings and nesting deeper
+ * than an internal bound all fail with an ErrorCode::Parse error
+ * located at @p source_label and the offending line.
+ */
+Result<JsonValue> parseJson(std::string_view text,
+                            const std::string& source_label = "");
+
+}  // namespace mapp::obs
+
+#endif  // MAPP_OBS_JSON_READER_H

@@ -1,8 +1,11 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <limits>
 
+#include "common/error.h"
 #include "common/log.h"
 #include "obs/json_util.h"
 
@@ -20,17 +23,38 @@ atomicAdd(std::atomic<double>& target, double v)
     }
 }
 
+/** Raise an InvalidArgument located at the offending instrument. */
+[[noreturn]] void
+rejectBounds(std::string_view name, const std::string& why)
+{
+    SourceContext context;
+    context.column = std::string(name);
+    raise(Error(ErrorCode::InvalidArgument, "Histogram: " + why,
+                std::move(context)));
+}
+
 }  // namespace
 
-Histogram::Histogram(std::vector<double> upper_bounds)
+Histogram::Histogram(std::vector<double> upper_bounds,
+                     std::string_view name)
     : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1)
 {
     if (bounds_.empty())
-        fatal("Histogram: at least one bucket bound required");
-    if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
-        std::adjacent_find(bounds_.begin(), bounds_.end()) !=
-            bounds_.end()) {
-        fatal("Histogram: bucket bounds must be strictly ascending");
+        rejectBounds(name, "at least one bucket bound required");
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        if (!std::isfinite(bounds_[i])) {
+            rejectBounds(name, "bucket bound " + std::to_string(i) +
+                                   " is not finite");
+        }
+        if (i > 0 && !(bounds_[i - 1] < bounds_[i])) {
+            rejectBounds(
+                name, "bucket bounds must be strictly ascending "
+                      "(bound " +
+                          std::to_string(i) + " = " +
+                          std::to_string(bounds_[i]) +
+                          " does not exceed its predecessor " +
+                          std::to_string(bounds_[i - 1]) + ")");
+        }
     }
 }
 
@@ -63,6 +87,61 @@ Histogram::reset()
         c.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0.0, std::memory_order_relaxed);
+}
+
+double
+HistogramSnapshot::quantile(double q) const
+{
+    if (count == 0 || counts.empty() || bounds.empty())
+        return std::numeric_limits<double>::quiet_NaN();
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const auto c = static_cast<double>(counts[i]);
+        if (c == 0.0)
+            continue;  // cum is unchanged; skip degenerate brackets
+        const double next = cum + c;
+        if (next >= target) {
+            if (i >= bounds.size())
+                return bounds.back();  // overflow: no upper edge
+            const double upper = bounds[i];
+            const double lower =
+                i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+            const double frac =
+                std::clamp((target - cum) / c, 0.0, 1.0);
+            return lower + frac * (upper - lower);
+        }
+        cum = next;
+    }
+    return bounds.back();  // floating-point slack on the last rank
+}
+
+const HistogramSnapshot*
+RegistrySnapshot::findHistogram(std::string_view name) const
+{
+    for (const auto& h : histograms)
+        if (h.name == name)
+            return &h;
+    return nullptr;
+}
+
+const double*
+RegistrySnapshot::findGauge(std::string_view name) const
+{
+    for (const auto& [key, value] : gauges)
+        if (key == name)
+            return &value;
+    return nullptr;
+}
+
+const std::uint64_t*
+RegistrySnapshot::findCounter(std::string_view name) const
+{
+    for (const auto& [key, value] : counters)
+        if (key == name)
+            return &value;
+    return nullptr;
 }
 
 std::vector<double>
@@ -115,8 +194,9 @@ Registry::histogram(std::string_view name,
         if (upper_bounds.empty())
             upper_bounds = defaultTimeBucketBounds();
         it = histograms_
-                 .emplace(std::string(name), std::make_unique<Histogram>(
-                                                 std::move(upper_bounds)))
+                 .emplace(std::string(name),
+                          std::make_unique<Histogram>(
+                              std::move(upper_bounds), name))
                  .first;
     }
     return *it->second;

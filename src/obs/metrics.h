@@ -82,7 +82,15 @@ class Gauge
 class Histogram
 {
   public:
-    explicit Histogram(std::vector<double> upper_bounds);
+    /**
+     * @param upper_bounds strictly ascending, finite bucket bounds
+     * @param name instrument name used to locate validation errors
+     * @throws mapp::InputError (a FatalError) when bounds are empty,
+     *         unsorted, duplicated or non-finite — a malformed bound
+     *         list would silently miscount every observation.
+     */
+    explicit Histogram(std::vector<double> upper_bounds,
+                       std::string_view name = "");
 
     Histogram(const Histogram&) = delete;
     Histogram& operator=(const Histogram&) = delete;
@@ -130,6 +138,16 @@ struct HistogramSnapshot
     {
         return count > 0 ? sum / static_cast<double>(count) : 0.0;
     }
+
+    /**
+     * Estimate the @p q quantile (q in [0,1], clamped) from the bucket
+     * counts, interpolating linearly inside the bucket holding rank
+     * q*count. The first bucket's lower edge is min(0, bounds[0]) —
+     * time histograms start at 0, signed-error histograms extend below
+     * it — and mass in the overflow bucket clamps to the last bound
+     * (the snapshot carries no upper edge for it). NaN when empty.
+     */
+    double quantile(double q) const;
 };
 
 /** Point-in-time copy of a whole registry. */
@@ -138,6 +156,15 @@ struct RegistrySnapshot
     std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<std::pair<std::string, double>> gauges;
     std::vector<HistogramSnapshot> histograms;
+
+    /** The named histogram, or nullptr. */
+    const HistogramSnapshot* findHistogram(std::string_view name) const;
+
+    /** Pointer to the named gauge's value, or nullptr. */
+    const double* findGauge(std::string_view name) const;
+
+    /** Pointer to the named counter's value, or nullptr. */
+    const std::uint64_t* findCounter(std::string_view name) const;
 
     /** The snapshot as a stable JSON document. */
     std::string toJson() const;
@@ -162,7 +189,8 @@ class Registry
     /**
      * Find or create the named histogram. @p upper_bounds is only used
      * on first creation (empty = defaultTimeBucketBounds()); it must be
-     * strictly ascending. @throws FatalError on malformed bounds.
+     * strictly ascending and finite. @throws mapp::InputError (a
+     * FatalError) naming the instrument on malformed bounds.
      */
     Histogram& histogram(std::string_view name,
                          std::vector<double> upper_bounds = {});

@@ -1,0 +1,86 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace mapp::obs {
+
+namespace {
+
+/**
+ * A Prometheus sample value. Unlike JSON, the exposition format has
+ * literals for the non-finite values, so they pass through instead of
+ * becoming gaps.
+ */
+std::string
+promNumber(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+}  // namespace
+
+std::string
+prometheusName(std::string_view name)
+{
+    std::string out = "mapp_";
+    for (const char c : name) {
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) ||
+                        c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+writePrometheus(const RegistrySnapshot& snapshot)
+{
+    std::string out;
+    for (const auto& [name, value] : snapshot.counters) {
+        const std::string prom = prometheusName(name);
+        out += "# TYPE " + prom + " counter\n";
+        out += prom + " " + std::to_string(value) + "\n";
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+        const std::string prom = prometheusName(name);
+        out += "# TYPE " + prom + " gauge\n";
+        out += prom + " " + promNumber(value) + "\n";
+    }
+    for (const auto& h : snapshot.histograms) {
+        const std::string prom = prometheusName(h.name);
+        out += "# TYPE " + prom + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            cumulative += h.counts[i];
+            const std::string le = i < h.bounds.size()
+                                       ? promNumber(h.bounds[i])
+                                       : "+Inf";
+            out += prom + "_bucket{le=\"" + le + "\"} " +
+                   std::to_string(cumulative) + "\n";
+        }
+        out += prom + "_sum " + promNumber(h.sum) + "\n";
+        out += prom + "_count " + std::to_string(h.count) + "\n";
+    }
+    return out;
+}
+
+bool
+writePrometheusFile(const RegistrySnapshot& snapshot,
+                    const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << writePrometheus(snapshot);
+    return static_cast<bool>(out);
+}
+
+}  // namespace mapp::obs

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Prometheus text exposition (version 0.0.4) of a RegistrySnapshot,
+ * alongside the JSON sidecar: counters, gauges, and histograms with
+ * cumulative `le` buckets plus `_sum`/`_count`. Metric names are
+ * mangled into the Prometheus charset (`ml.tree.fits` →
+ * `mapp_ml_tree_fits`) under a `mapp_` namespace prefix.
+ */
+
+#ifndef MAPP_OBS_PROMETHEUS_H
+#define MAPP_OBS_PROMETHEUS_H
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace mapp::obs {
+
+/** `mapp_` + @p name with every non-[a-zA-Z0-9_:] mapped to '_'. */
+std::string prometheusName(std::string_view name);
+
+/** The snapshot in Prometheus text exposition format. */
+std::string writePrometheus(const RegistrySnapshot& snapshot);
+
+/** Write writePrometheus() to @p path. @return false on I/O failure. */
+bool writePrometheusFile(const RegistrySnapshot& snapshot,
+                         const std::string& path);
+
+}  // namespace mapp::obs
+
+#endif  // MAPP_OBS_PROMETHEUS_H

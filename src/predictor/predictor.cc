@@ -1,11 +1,17 @@
 #include "predictor/predictor.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
 
 #include "common/log.h"
 #include "common/parallel.h"
 #include "ml/metrics.h"
+#include "obs/audit.h"
 #include "obs/timer.h"
+#include "obs/trace.h"
+#include "predictor/quality.h"
 
 namespace mapp::predictor {
 
@@ -58,6 +64,112 @@ MultiAppPredictor::train(const ml::Dataset& raw)
     tree_.emplace(params_.tree);
     tree_->fit(prepared);
     compiled_ = ml::CompiledTree(*tree_);
+    buildAuditTables(prepared);
+}
+
+void
+MultiAppPredictor::buildAuditTables(const ml::Dataset& prepared)
+{
+    const std::size_t n = tree_->nodeCount();
+    leafSummary_.assign(n, {});
+    leafRmseSeconds_.assign(n, 0.0);
+    const auto& names = tree_->featureNames();
+
+    // DFS carrying the rendered path prefix down to each leaf.
+    struct Frame
+    {
+        std::size_t node;
+        std::string path;
+    };
+    std::vector<Frame> stack{{0, std::string()}};
+    while (!stack.empty()) {
+        Frame frame = std::move(stack.back());
+        stack.pop_back();
+        const auto v = tree_->nodeView(frame.node);
+        if (v.leaf) {
+            leafSummary_[frame.node] =
+                frame.path.empty() ? "(root)" : std::move(frame.path);
+            if (v.samples > 0) {
+                leafRmseSeconds_[frame.node] =
+                    std::sqrt(v.sse / static_cast<double>(v.samples)) *
+                    normalizer_.scale();
+            }
+            continue;
+        }
+        char threshold[32];
+        std::snprintf(threshold, sizeof(threshold), "%.4g",
+                      v.threshold);
+        const std::string& name =
+            names[static_cast<std::size_t>(v.feature)];
+        const char* joint = frame.path.empty() ? "" : " -> ";
+        stack.push_back({static_cast<std::size_t>(v.right),
+                         frame.path + joint + name + ">" + threshold});
+        stack.push_back({static_cast<std::size_t>(v.left),
+                         frame.path + joint + name + "<=" + threshold});
+    }
+
+    // Drift reference: per-feature range of the normalized training
+    // matrix — predict-time rows outside it are extrapolations.
+    const std::size_t nF = prepared.numFeatures();
+    trainMin_.assign(nF, std::numeric_limits<double>::infinity());
+    trainMax_.assign(nF, -std::numeric_limits<double>::infinity());
+    for (const auto& row : prepared.rows()) {
+        for (std::size_t k = 0; k < nF; ++k) {
+            trainMin_[k] = std::min(trainMin_[k], row[k]);
+            trainMax_[k] = std::max(trainMax_[k], row[k]);
+        }
+    }
+}
+
+std::uint64_t
+MultiAppPredictor::auditRows(const char* model,
+                             std::span<const double> flat,
+                             std::size_t nFeatures,
+                             std::span<const double> outSeconds) const
+{
+    obs::PredictionLog& log = obs::predictionLog();
+    if (!log.enabled() || outSeconds.empty())
+        return 0;
+    const auto n = static_cast<std::uint64_t>(outSeconds.size());
+    const std::uint64_t first = log.reserve(n);
+    const std::uint64_t period = log.samplePeriod();
+    // One timestamp per batch: rows of a batch land within
+    // microseconds of each other, and it saves a clock read per
+    // sampled record.
+    const double nowUs = obs::tracer().wallTimeUs();
+    const auto fill = [&](std::uint64_t i,
+                          obs::PredictionRecord& record) {
+        const auto row = flat.subspan(
+            static_cast<std::size_t>(i) * nFeatures, nFeatures);
+        const auto leaf =
+            static_cast<std::size_t>(compiled_.predictLeaf(row));
+        // In-place fill: the ring slot's buffers are reused, so a
+        // steady-state audit record allocates nothing.
+        record.seq = first + i;
+        record.tsUs = nowUs;
+        record.model.assign(model);
+        record.features.assign(row.begin(), row.end());
+        record.predictedSeconds = outSeconds[static_cast<std::size_t>(i)];
+        record.uncertaintySeconds = leafRmseSeconds_[leaf];
+        record.pathSummary.assign(leafSummary_[leaf]);
+    };
+    // The sampled sequence ids are first + i with (first + i) % period
+    // == 0 — computed arithmetically so unsampled rows cost nothing.
+    // Sampled rows are flushed in chunks so the log mutex is taken
+    // once per chunk, not once per record.
+    constexpr std::size_t kChunk = 64;
+    std::uint64_t ids[kChunk];
+    std::size_t m = 0;
+    for (std::uint64_t i = (period - first % period) % period; i < n;
+         i += period) {
+        ids[m++] = i;
+        if (m == kChunk) {
+            log.recordChunkInPlace({ids, m}, fill);
+            m = 0;
+        }
+    }
+    log.recordChunkInPlace({ids, m}, fill);
+    return first;
 }
 
 std::vector<double>
@@ -80,8 +192,11 @@ MultiAppPredictor::predict(const AppFeatures& a, const AppFeatures& b,
 {
     if (!trained())
         fatal("MultiAppPredictor::predict: model not trained");
-    return normalizer_.denormalizeTarget(
-        compiled_.predict(queryRow(a, b, fairness)));
+    const auto row = queryRow(a, b, fairness);
+    const double out =
+        normalizer_.denormalizeTarget(compiled_.predict(row));
+    auditRows("single", row, row.size(), {&out, 1});
+    return out;
 }
 
 std::vector<double>
@@ -101,6 +216,7 @@ MultiAppPredictor::predictBatch(const std::vector<BagQuery>& queries) const
     std::vector<double> out(queries.size());
     compiled_.predictBatch(flat, nF, out);
     normalizer_.denormalizeInPlace(out);
+    auditRows("batch", flat, nF, out);
     return out;
 }
 
@@ -115,7 +231,48 @@ MultiAppPredictor::predictDataset(const ml::Dataset& raw_test) const
     std::vector<double> out(projected.size());
     compiled_.predictBatch(flat, projected.numFeatures(), out);
     normalizer_.denormalizeInPlace(out);
+    // Remember the audit range so observeGroundTruth() can annotate
+    // this batch's records once the actual times are known.
+    const bool audited = obs::predictionLog().enabled();
+    lastAuditFirstSeq_ =
+        auditRows("dataset", flat, projected.numFeatures(), out);
+    lastAuditRows_ = audited ? out.size() : 0;
     return out;
+}
+
+void
+MultiAppPredictor::observeGroundTruth(
+    const ml::Dataset& raw_test,
+    std::span<const double> predictedSeconds) const
+{
+    if (!trained())
+        fatal("MultiAppPredictor::observeGroundTruth: model not "
+              "trained");
+    if (raw_test.size() != predictedSeconds.size())
+        fatal("MultiAppPredictor::observeGroundTruth: prediction "
+              "count does not match the dataset");
+    if (raw_test.empty())
+        return;
+    ModelQualityMonitor& monitor = ModelQualityMonitor::global();
+    monitor.observePairs(raw_test.targets(), predictedSeconds);
+
+    // Drift check runs on the same projected + normalized rows the
+    // model saw, against the training matrix's feature ranges.
+    const ml::Dataset projected = raw_test.selectFeatures(schemeNames_);
+    auto flat = projected.toRowMajor();
+    normalizer_.applyBatchInPlace(flat, timeMask_);
+    const std::size_t nF = projected.numFeatures();
+    for (std::size_t r = 0; r < projected.size(); ++r) {
+        monitor.observeFeatureRow(
+            std::span<const double>(flat).subspan(r * nF, nF),
+            trainMin_, trainMax_, schemeNames_);
+    }
+
+    if (lastAuditRows_ == predictedSeconds.size() &&
+        lastAuditRows_ > 0) {
+        obs::predictionLog().annotate(lastAuditFirstSeq_,
+                                      raw_test.targets());
+    }
 }
 
 double
@@ -139,6 +296,10 @@ MultiAppPredictor::explain(const DataPoint& point) const
     // engine answers "what", the tree explains "why".
     e.path = tree_->decisionPath(row);
     e.featureNames = schemeNames_;
+    const auto leaf =
+        static_cast<std::size_t>(compiled_.predictLeaf(row));
+    e.uncertaintySeconds = leafRmseSeconds_[leaf];
+    e.pathSummary = leafSummary_[leaf];
     return e;
 }
 
@@ -199,6 +360,9 @@ MultiAppPredictor::looBenchmarkCv(const ml::Dataset& raw,
                 test.targets(), predictions);
             fold.mse =
                 ml::meanSquaredError(test.targets(), predictions);
+            // The fold's held-out truth doubles as online quality
+            // telemetry: error histograms + drift gauges.
+            model.observeGroundTruth(test, predictions);
         }
         result.folds[f] = std::move(fold);
     });
@@ -216,8 +380,9 @@ MultiAppPredictor::holdoutRelativeError(const ml::Dataset& raw,
 
     MultiAppPredictor model(params);
     model.train(train);
-    return ml::meanRelativeErrorPercent(test.targets(),
-                                        model.predictDataset(test));
+    const auto predictions = model.predictDataset(test);
+    model.observeGroundTruth(test, predictions);
+    return ml::meanRelativeErrorPercent(test.targets(), predictions);
 }
 
 }  // namespace mapp::predictor

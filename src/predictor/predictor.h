@@ -10,7 +10,9 @@
 #ifndef MAPP_PREDICTOR_PREDICTOR_H
 #define MAPP_PREDICTOR_PREDICTOR_H
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,8 +47,12 @@ struct BagQuery
 struct Explanation
 {
     double predictedSeconds = 0.0;
+    /** Spread estimate: the landed leaf's training residual RMSE,
+     *  denormalized to seconds. */
+    double uncertaintySeconds = 0.0;
     std::vector<ml::DecisionStep> path;     ///< nodes on the decision path
     std::vector<std::string> featureNames;  ///< names for path features
+    std::string pathSummary;  ///< rendered path, "f<=v -> g>w -> ..."
 };
 
 /** The multi-application GPU performance predictor. */
@@ -89,6 +95,31 @@ class MultiAppPredictor
     /** Predict with the decision path attached. */
     Explanation explain(const DataPoint& point) const;
 
+    /**
+     * Report ground truth for the most recent predictDataset() batch:
+     * feeds the global ModelQualityMonitor (error histograms, feature
+     * drift against the training normalization ranges) and, when the
+     * prediction log is enabled, annotates the batch's audited
+     * records with their actual times. @p predictedSeconds must be
+     * the vector predictDataset(@p raw_test) returned.
+     */
+    void observeGroundTruth(
+        const ml::Dataset& raw_test,
+        std::span<const double> predictedSeconds) const;
+
+    /** Per-feature min of the normalized training matrix (drift
+     *  reference; scheme feature order). */
+    const std::vector<double>& trainFeatureMin() const
+    {
+        return trainMin_;
+    }
+
+    /** Per-feature max of the normalized training matrix. */
+    const std::vector<double>& trainFeatureMax() const
+    {
+        return trainMax_;
+    }
+
     /** The compiled inference engine (rebuilt on every train()). */
     const ml::CompiledTree& compiledTree() const;
 
@@ -125,6 +156,28 @@ class MultiAppPredictor
                                  const AppFeatures& b,
                                  double fairness) const;
 
+    /**
+     * Precompute per-leaf audit lookaside tables from the freshly
+     * trained tree: the rendered root-to-leaf path summary and the
+     * leaf's training residual RMSE (sqrt(sse/samples), denormalized
+     * to seconds), plus the normalized training matrix's per-feature
+     * min/max as the drift reference. Paying the string construction
+     * once per train() keeps the per-record audit cost to a copy.
+     */
+    void buildAuditTables(const ml::Dataset& prepared);
+
+    /**
+     * Provenance hook shared by every predict path: no-op (one
+     * relaxed load) unless the global PredictionLog is enabled, then
+     * reserves sequence ids for the whole batch and records only the
+     * sampled rows — a leaf walk plus table copies each. @return the
+     * first reserved sequence id (0 when the log is disabled).
+     */
+    std::uint64_t auditRows(const char* model,
+                            std::span<const double> flat,
+                            std::size_t nFeatures,
+                            std::span<const double> outSeconds) const;
+
     PredictorParams params_;
     std::optional<ml::DecisionTreeRegressor> tree_;
     ml::CompiledTree compiled_;  ///< SoA engine over *tree_
@@ -136,6 +189,18 @@ class MultiAppPredictor
     std::vector<std::size_t> projection_;
     /** Per-scheme-feature time flags for batch normalization. */
     std::vector<char> timeMask_;
+    /** Per-leaf rendered decision-path summaries (node-id indexed). */
+    std::vector<std::string> leafSummary_;
+    /** Per-leaf training residual RMSE in seconds (node-id indexed). */
+    std::vector<double> leafRmseSeconds_;
+    /** Normalized-training-matrix feature ranges (drift reference). */
+    std::vector<double> trainMin_;
+    std::vector<double> trainMax_;
+    /** Sequence range of the last predictDataset() audit batch, so
+     *  observeGroundTruth() can annotate it. One model instance is
+     *  evaluated from one thread (folds each own a model). */
+    mutable std::uint64_t lastAuditFirstSeq_ = 0;
+    mutable std::size_t lastAuditRows_ = 0;
 };
 
 }  // namespace mapp::predictor

@@ -1,0 +1,176 @@
+#include "predictor/quality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace mapp::predictor {
+
+namespace {
+
+/** Bucket bounds for |error| as a percentage of the actual time. */
+std::vector<double>
+absErrorBounds()
+{
+    return {1.0,  2.0,  5.0,  10.0, 15.0, 20.0,
+            30.0, 50.0, 75.0, 100.0, 200.0};
+}
+
+/** Symmetric bounds for the signed percentage error. */
+std::vector<double>
+signedErrorBounds()
+{
+    const auto pos = absErrorBounds();
+    std::vector<double> bounds;
+    bounds.reserve(2 * pos.size() + 1);
+    for (auto it = pos.rbegin(); it != pos.rend(); ++it)
+        bounds.push_back(-*it);
+    bounds.push_back(0.0);
+    for (const double b : pos)
+        bounds.push_back(b);
+    return bounds;
+}
+
+obs::Histogram&
+absErrorHistogram()
+{
+    static obs::Histogram& h = obs::defaultRegistry().histogram(
+        "predictor.error.abs_pct", absErrorBounds());
+    return h;
+}
+
+obs::Histogram&
+signedErrorHistogram()
+{
+    static obs::Histogram& h = obs::defaultRegistry().histogram(
+        "predictor.error.signed_pct", signedErrorBounds());
+    return h;
+}
+
+/**
+ * Relative slack before a value counts as out of range: training
+ * normalization is exact, but evaluation rows re-normalized through
+ * the same scale accumulate one or two ulps of rounding.
+ */
+constexpr double kRangeTolerance = 1e-9;
+
+}  // namespace
+
+ModelQualityMonitor::ModelQualityMonitor()
+{
+    // Touch the histograms so even an idle process exports the
+    // instruments (empty histograms render as zero-count series).
+    absErrorHistogram();
+    signedErrorHistogram();
+}
+
+void
+ModelQualityMonitor::observePairs(
+    std::span<const double> actualSeconds,
+    std::span<const double> predictedSeconds)
+{
+    if (actualSeconds.size() != predictedSeconds.size())
+        fatal("ModelQualityMonitor::observePairs: size mismatch");
+    obs::Histogram& abs = absErrorHistogram();
+    obs::Histogram& sgn = signedErrorHistogram();
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t accepted = 0;
+    for (std::size_t i = 0; i < actualSeconds.size(); ++i) {
+        const double actual = actualSeconds[i];
+        if (!std::isfinite(actual) || actual <= 0.0)
+            continue;
+        const double signedPct =
+            (predictedSeconds[i] - actual) / actual * 100.0;
+        const double absPct = std::abs(signedPct);
+        abs.observe(absPct);
+        sgn.observe(signedPct);
+        sumAbsPct_ += absPct;
+        ++accepted;
+    }
+    pairs_ += accepted;
+    if (pairs_ > 0) {
+        obs::defaultRegistry()
+            .gauge("predictor.quality.mape_pct")
+            .set(sumAbsPct_ / static_cast<double>(pairs_));
+    }
+    if (accepted > 0) {
+        obs::defaultRegistry()
+            .counter("predictor.quality.pairs")
+            .add(accepted);
+    }
+}
+
+void
+ModelQualityMonitor::observeFeatureRow(
+    std::span<const double> row, std::span<const double> trainMin,
+    std::span<const double> trainMax,
+    const std::vector<std::string>& names)
+{
+    if (row.size() != names.size() || trainMin.size() != names.size() ||
+        trainMax.size() != names.size()) {
+        fatal("ModelQualityMonitor::observeFeatureRow: size mismatch");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t k = 0; k < names.size(); ++k) {
+        FeatureStat& stat = features_[names[k]];
+        ++stat.seen;
+        const double span = trainMax[k] - trainMin[k];
+        const double slack =
+            kRangeTolerance * std::max(1.0, std::abs(span));
+        if (row[k] < trainMin[k] - slack ||
+            row[k] > trainMax[k] + slack) {
+            ++stat.outOfRange;
+        }
+        obs::defaultRegistry()
+            .gauge("predictor.drift.oor_frac." + names[k])
+            .set(static_cast<double>(stat.outOfRange) /
+                 static_cast<double>(stat.seen));
+    }
+}
+
+std::uint64_t
+ModelQualityMonitor::pairsSeen() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pairs_;
+}
+
+std::vector<DriftFlag>
+ModelQualityMonitor::driftFlags(double threshold) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<DriftFlag> flags;
+    for (const auto& [name, stat] : features_) {
+        if (stat.seen == 0)
+            continue;
+        const double fraction = static_cast<double>(stat.outOfRange) /
+                                static_cast<double>(stat.seen);
+        if (fraction > threshold)
+            flags.push_back(DriftFlag{name, fraction, stat.seen});
+    }
+    std::stable_sort(flags.begin(), flags.end(),
+                     [](const DriftFlag& a, const DriftFlag& b) {
+                         return a.outOfRangeFraction >
+                                b.outOfRangeFraction;
+                     });
+    return flags;
+}
+
+void
+ModelQualityMonitor::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    features_.clear();
+    pairs_ = 0;
+    sumAbsPct_ = 0.0;
+}
+
+ModelQualityMonitor&
+ModelQualityMonitor::global()
+{
+    static ModelQualityMonitor instance;
+    return instance;
+}
+
+}  // namespace mapp::predictor

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Online model-quality telemetry: whenever ground truth arrives next
+ * to a prediction — LOOCV fold evaluation, campaign evaluation, a
+ * scheduler measuring the schedule it just scored — the pairs feed
+ * rolling error histograms (absolute and signed percentage error) and
+ * every evaluated feature row is checked against the training
+ * normalization ranges (Section V-C), so feature drift shows up as
+ * `predictor.drift.oor_frac.<feature>` gauges in the default registry
+ * long before the error metrics decay.
+ */
+
+#ifndef MAPP_PREDICTOR_QUALITY_H
+#define MAPP_PREDICTOR_QUALITY_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mapp::predictor {
+
+/** A feature flagged by the drift monitor. */
+struct DriftFlag
+{
+    std::string feature;
+    double outOfRangeFraction = 0.0;
+    std::uint64_t rowsSeen = 0;
+};
+
+/**
+ * Aggregates prediction-error and feature-drift telemetry into the
+ * default metrics registry. All entry points are thread-safe (LOOCV
+ * folds evaluate concurrently); every path here is an evaluation cold
+ * path, so a mutex per call is fine.
+ *
+ * Published instruments:
+ *  - histogram `predictor.error.abs_pct`    |pred-actual|/actual * 100
+ *  - histogram `predictor.error.signed_pct` (pred-actual)/actual * 100
+ *  - gauge     `predictor.quality.mape_pct` running mean of abs_pct
+ *  - counter   `predictor.quality.pairs`    ground-truth pairs seen
+ *  - gauge     `predictor.drift.oor_frac.<feature>` fraction of
+ *              evaluated rows outside the training range
+ */
+class ModelQualityMonitor
+{
+  public:
+    ModelQualityMonitor();
+
+    ModelQualityMonitor(const ModelQualityMonitor&) = delete;
+    ModelQualityMonitor& operator=(const ModelQualityMonitor&) = delete;
+
+    /**
+     * Observe ground-truth/prediction pairs (both in seconds).
+     * Pairs with a non-positive or non-finite actual are skipped —
+     * a zero-time bag has no meaningful relative error.
+     */
+    void observePairs(std::span<const double> actualSeconds,
+                      std::span<const double> predictedSeconds);
+
+    /**
+     * Check one normalized feature row against the training ranges:
+     * feature k drifted when row[k] lies outside
+     * [trainMin[k], trainMax[k]] (with a small relative tolerance).
+     * All spans must have names.size() entries.
+     */
+    void observeFeatureRow(std::span<const double> row,
+                           std::span<const double> trainMin,
+                           std::span<const double> trainMax,
+                           const std::vector<std::string>& names);
+
+    /** Ground-truth pairs accepted so far. */
+    std::uint64_t pairsSeen() const;
+
+    /**
+     * Features whose out-of-range fraction exceeds @p threshold,
+     * worst first.
+     */
+    std::vector<DriftFlag> driftFlags(double threshold = 0.01) const;
+
+    /** Drop all rolling state (gauges keep their last value). */
+    void reset();
+
+    /** The process-wide monitor the predictor hooks feed. */
+    static ModelQualityMonitor& global();
+
+  private:
+    struct FeatureStat
+    {
+        std::uint64_t seen = 0;
+        std::uint64_t outOfRange = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, FeatureStat> features_;
+    std::uint64_t pairs_ = 0;
+    double sumAbsPct_ = 0.0;
+};
+
+}  // namespace mapp::predictor
+
+#endif  // MAPP_PREDICTOR_QUALITY_H

@@ -1,5 +1,7 @@
 #include "predictor/scheduler.h"
 
+#include "predictor/quality.h"
+
 #include <algorithm>
 #include <limits>
 
@@ -266,10 +268,21 @@ double
 CoScheduler::measure(const Schedule& schedule) const
 {
     double total = 0.0;
-    for (const auto& bag : schedule.bags)
-        total += collector_.collect(bag.spec).gpuBagTime;
+    std::vector<double> actual;
+    std::vector<double> predicted;
+    actual.reserve(schedule.bags.size());
+    predicted.reserve(schedule.bags.size());
+    for (const auto& bag : schedule.bags) {
+        const double measured = collector_.collect(bag.spec).gpuBagTime;
+        total += measured;
+        actual.push_back(measured);
+        predicted.push_back(bag.predictedSeconds);
+    }
     if (schedule.leftover)
         total += collector_.appFeatures(*schedule.leftover).gpuTime;
+    // Measuring a scored schedule is ground truth arriving for the
+    // bag predictions — feed the online quality monitor.
+    ModelQualityMonitor::global().observePairs(actual, predicted);
     return total;
 }
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <limits>
@@ -323,6 +324,93 @@ TEST(Registry, HistogramRejectsMalformedBounds)
     obs::Registry reg;
     EXPECT_THROW(reg.histogram("bad", {2.0, 1.0}), FatalError);
     EXPECT_THROW(reg.histogram("dup", {1.0, 1.0}), FatalError);
+    // Registry maps empty bounds to the defaults; the Histogram type
+    // itself must reject them.
+    EXPECT_THROW(obs::Histogram({}, "empty"), FatalError);
+    EXPECT_THROW(
+        reg.histogram("nan",
+                      {1.0, std::numeric_limits<double>::quiet_NaN()}),
+        FatalError);
+    EXPECT_THROW(
+        reg.histogram("inf",
+                      {1.0, std::numeric_limits<double>::infinity()}),
+        FatalError);
+}
+
+TEST(HistogramSnapshot, QuantileEmptyIsNaN)
+{
+    obs::Registry reg;
+    reg.histogram("q.empty", {1.0, 2.0});
+    const auto snap = reg.snapshot();
+    const auto* h = snap.findHistogram("q.empty");
+    ASSERT_NE(h, nullptr);
+    EXPECT_TRUE(std::isnan(h->quantile(0.5)));
+}
+
+TEST(HistogramSnapshot, QuantileInterpolatesInsideBucket)
+{
+    obs::Registry reg;
+    obs::Histogram& h = reg.histogram("q.interp", {10.0, 20.0});
+    // 10 observations in (0, 10], none beyond: ranks spread linearly
+    // across the first bucket [0, 10].
+    for (int i = 0; i < 10; ++i)
+        h.observe(5.0);
+    const auto snap = reg.snapshot();
+    const auto* s = snap.findHistogram("q.interp");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s->quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(s->quantile(1.0), 10.0);
+    // q is clamped, not rejected.
+    EXPECT_DOUBLE_EQ(s->quantile(-1.0), s->quantile(0.0));
+    EXPECT_DOUBLE_EQ(s->quantile(2.0), s->quantile(1.0));
+}
+
+TEST(HistogramSnapshot, QuantileSplitsAcrossBuckets)
+{
+    obs::Registry reg;
+    obs::Histogram& h = reg.histogram("q.split", {1.0, 2.0, 4.0});
+    for (int i = 0; i < 3; ++i)
+        h.observe(0.5);  // bucket [0,1]
+    h.observe(3.0);  // bucket (2,4]
+    const auto snap = reg.snapshot();
+    const auto* s = snap.findHistogram("q.split");
+    ASSERT_NE(s, nullptr);
+    // Rank 2 of 4 lands at the end of the first bucket's mass.
+    EXPECT_LE(s->quantile(0.5), 1.0);
+    EXPECT_GT(s->quantile(0.5), 0.0);
+    // The top quartile interpolates inside (2, 4].
+    EXPECT_GT(s->quantile(0.95), 2.0);
+    EXPECT_LE(s->quantile(0.95), 4.0);
+}
+
+TEST(HistogramSnapshot, QuantileOverflowClampsToLastBound)
+{
+    obs::Registry reg;
+    obs::Histogram& h = reg.histogram("q.overflow", {1.0, 2.0});
+    for (int i = 0; i < 5; ++i)
+        h.observe(100.0);  // all mass beyond the last bound
+    const auto snap = reg.snapshot();
+    const auto* s = snap.findHistogram("q.overflow");
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->quantile(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(s->quantile(0.99), 2.0);
+}
+
+TEST(HistogramSnapshot, QuantileNegativeBoundsUseFirstBoundEdge)
+{
+    // Signed-error histograms extend below zero: the first bucket's
+    // lower edge is its own bound, not zero.
+    obs::Registry reg;
+    obs::Histogram& h = reg.histogram("q.signed", {-10.0, 0.0, 10.0});
+    for (int i = 0; i < 4; ++i)
+        h.observe(-5.0);  // bucket (-10, 0]
+    const auto snap = reg.snapshot();
+    const auto* s = snap.findHistogram("q.signed");
+    ASSERT_NE(s, nullptr);
+    const double p50 = s->quantile(0.5);
+    EXPECT_GE(p50, -10.0);
+    EXPECT_LE(p50, 0.0);
 }
 
 TEST(Registry, ConcurrentCountersAreExact)

@@ -1,0 +1,254 @@
+/** @file Tests for the run-report pipeline: the sidecar JSON reader,
+ * the Prometheus text exposition and the `mapp_cli report` markdown
+ * renderer (metrics round trip, graceful degradation, located errors
+ * on malformed sidecars). */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/audit.h"
+#include "obs/json_reader.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace mapp;
+
+std::string
+writeTemp(const std::string& name, const std::string& content)
+{
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader
+
+TEST(JsonReader, ParsesScalarsContainersAndEscapes)
+{
+    const auto doc = obs::parseJson(
+        R"({"a": [1, -2.5e2, true, null], "s": "x\n\"y\""})", "t");
+    ASSERT_TRUE(doc.ok());
+    const auto& root = doc.value();
+    ASSERT_TRUE(root.isObject());
+    const auto* a = root.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->items().size(), 4u);
+    EXPECT_DOUBLE_EQ(a->items()[0].number(), 1.0);
+    EXPECT_DOUBLE_EQ(a->items()[1].number(), -250.0);
+    EXPECT_TRUE(a->items()[2].boolean());
+    EXPECT_TRUE(a->items()[3].isNull());
+    EXPECT_EQ(root.find("s")->text(), "x\n\"y\"");
+    EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(JsonReader, MalformedInputIsALocatedError)
+{
+    for (const char* bad : {"{", "[1,]", "\"open", "{\"a\" 1}",
+                            "nulx", "1 trailing"}) {
+        const auto doc = obs::parseJson(bad, "bad.json");
+        EXPECT_FALSE(doc.ok()) << bad;
+        if (!doc.ok())
+            EXPECT_NE(doc.error().toString().find("bad.json"),
+                      std::string::npos);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(Prometheus, NameManglingAndPrefix)
+{
+    EXPECT_EQ(obs::prometheusName("ml.tree.fits"),
+              "mapp_ml_tree_fits");
+    EXPECT_EQ(obs::prometheusName("a-b c/d"), "mapp_a_b_c_d");
+}
+
+TEST(Prometheus, ExposesCountersGaugesAndCumulativeBuckets)
+{
+    obs::Registry reg;
+    reg.counter("runs").add(3);
+    reg.gauge("speed").set(1.5);
+    auto& h = reg.histogram("lat", {1.0, 2.0});
+    h.observe(0.5);
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(99.0);
+
+    const std::string text = obs::writePrometheus(reg.snapshot());
+    EXPECT_NE(text.find("# TYPE mapp_runs counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("mapp_runs 3"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE mapp_speed gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE mapp_lat histogram"),
+              std::string::npos);
+    // Buckets are cumulative and close with +Inf == _count.
+    EXPECT_NE(text.find("mapp_lat_bucket{le=\"1\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("mapp_lat_bucket{le=\"2\"} 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("mapp_lat_bucket{le=\"+Inf\"} 4"),
+              std::string::npos);
+    EXPECT_NE(text.find("mapp_lat_count 4"), std::string::npos);
+}
+
+TEST(Prometheus, NonFiniteGaugesUseExpositionLiterals)
+{
+    obs::Registry reg;
+    reg.gauge("bad").set(std::numeric_limits<double>::quiet_NaN());
+    reg.gauge("up").set(std::numeric_limits<double>::infinity());
+    const std::string text = obs::writePrometheus(reg.snapshot());
+    EXPECT_NE(text.find("mapp_bad NaN"), std::string::npos);
+    EXPECT_NE(text.find("mapp_up +Inf"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics snapshot round trip
+
+TEST(Report, SnapshotFromJsonRoundTrips)
+{
+    obs::Registry reg;
+    reg.counter("c.hits").add(7);
+    reg.gauge("g.depth").set(-1.25);
+    auto& h = reg.histogram("h.lat", {1.0, 4.0});
+    h.observe(0.5);
+    h.observe(8.0);
+
+    const auto snap =
+        obs::snapshotFromJson(reg.toJson(), "metrics.json");
+    ASSERT_TRUE(snap.ok()) << snap.error().message();
+    const auto& s = snap.value();
+    ASSERT_NE(s.findCounter("c.hits"), nullptr);
+    EXPECT_EQ(*s.findCounter("c.hits"), 7u);
+    ASSERT_NE(s.findGauge("g.depth"), nullptr);
+    EXPECT_DOUBLE_EQ(*s.findGauge("g.depth"), -1.25);
+    const auto* hist = s.findHistogram("h.lat");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count, 2u);
+    EXPECT_DOUBLE_EQ(hist->sum, 8.5);
+    ASSERT_EQ(hist->bounds.size(), 2u);
+    ASSERT_EQ(hist->counts.size(), 3u);
+    EXPECT_EQ(hist->counts[0], 1u);
+    EXPECT_EQ(hist->counts[2], 1u);
+}
+
+TEST(Report, SnapshotFromJsonRejectsNonSidecarDocuments)
+{
+    EXPECT_FALSE(obs::snapshotFromJson("[]", "x").ok());
+    EXPECT_FALSE(obs::snapshotFromJson("{\"histograms\": 3}", "x").ok());
+    EXPECT_FALSE(obs::snapshotFromJson("{nope", "x").ok());
+}
+
+// ---------------------------------------------------------------------------
+// The full report renderer
+
+TEST(Report, RendersAllSectionsFromSidecars)
+{
+    // Metrics sidecar with a latency histogram, quality metrics and a
+    // drift gauge over the flag threshold.
+    obs::Registry reg;
+    reg.histogram("predict.batch.seconds", {0.001, 0.01, 0.1})
+        .observe(0.004);
+    reg.histogram("predictor.error.abs_pct", {5.0, 10.0, 20.0})
+        .observe(7.0);
+    reg.gauge("predictor.quality.mape_pct").set(7.0);
+    reg.counter("predictor.quality.pairs").add(1);
+    reg.gauge("predictor.drift.oor_frac.a0_gpu_time").set(0.25);
+    const std::string metrics =
+        writeTemp("report_metrics.json", reg.toJson());
+
+    // Prediction JSONL: one annotated high-error record plus one line
+    // of garbage that must be skipped, not fatal.
+    obs::PredictionLog log(8);
+    log.recordInPlace([](obs::PredictionRecord& r) {
+        r.seq = 3;
+        r.model.assign("dataset");
+        r.features.assign({0.5, 0.25});
+        r.predictedSeconds = 2.0;
+        r.uncertaintySeconds = 0.1;
+        r.pathSummary.assign("a0_gpu_time>1.5");
+        r.actualSeconds = 1.0;
+    });
+    const std::string predictions = writeTemp(
+        "report_predictions.jsonl", log.toJsonl() + "not json\n");
+
+    // Trace sidecar: two nested pipeline spans.
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    tracer.completeEvent("campaign-collection", "pipeline", 0.0,
+                         1000.0, obs::kPipelineTrackPid, 0);
+    tracer.completeEvent("feature-extraction", "pipeline", 100.0,
+                         200.0, obs::kPipelineTrackPid, 0);
+    const std::string trace =
+        writeTemp("report_trace.json", tracer.chromeTraceJson());
+
+    const auto report = obs::renderRunReport(
+        obs::RunReportInputs{metrics, predictions, trace});
+    ASSERT_TRUE(report.ok()) << report.error().message();
+    const std::string& text = report.value();
+
+    EXPECT_NE(text.find("# MAPP run report"), std::string::npos);
+    EXPECT_NE(text.find("## Phase tree"), std::string::npos);
+    EXPECT_NE(text.find("campaign-collection"), std::string::npos);
+    // feature-extraction nests under campaign-collection.
+    EXPECT_NE(text.find("  - `feature-extraction`"),
+              std::string::npos);
+    EXPECT_NE(text.find("## Latency percentiles"), std::string::npos);
+    EXPECT_NE(text.find("predict.batch.seconds"), std::string::npos);
+    EXPECT_NE(text.find("## Prediction quality"), std::string::npos);
+    EXPECT_NE(text.find("## Top-error predictions"),
+              std::string::npos);
+    EXPECT_NE(text.find("a0_gpu_time>1.5"), std::string::npos);
+    EXPECT_NE(text.find("## Drift flags"), std::string::npos);
+    EXPECT_NE(text.find("a0_gpu_time"), std::string::npos);
+    EXPECT_NE(text.find("## Counters"), std::string::npos);
+    EXPECT_NE(text.find("1 malformed lines skipped"),
+              std::string::npos);
+
+    std::remove(metrics.c_str());
+    std::remove(predictions.c_str());
+    std::remove(trace.c_str());
+}
+
+TEST(Report, OptionalSidecarsDegradeToNotes)
+{
+    obs::Registry reg;
+    reg.counter("runs").add(1);
+    const std::string metrics =
+        writeTemp("report_metrics_only.json", reg.toJson());
+
+    const auto report =
+        obs::renderRunReport(obs::RunReportInputs{metrics, "", ""});
+    ASSERT_TRUE(report.ok()) << report.error().message();
+    EXPECT_NE(report.value().find("## Phase tree"), std::string::npos);
+    EXPECT_NE(report.value().find("--trace-out"), std::string::npos);
+
+    std::remove(metrics.c_str());
+}
+
+TEST(Report, MissingOrMalformedMetricsFails)
+{
+    const auto missing = obs::renderRunReport(
+        obs::RunReportInputs{"/nonexistent/metrics.json", "", ""});
+    EXPECT_FALSE(missing.ok());
+
+    const std::string bad =
+        writeTemp("report_bad_metrics.json", "not json at all");
+    const auto malformed =
+        obs::renderRunReport(obs::RunReportInputs{bad, "", ""});
+    EXPECT_FALSE(malformed.ok());
+    std::remove(bad.c_str());
+}
+
+}  // namespace
