@@ -14,6 +14,14 @@
  *   mapp_cli report <metrics.json> [predictions.jsonl|-] [trace.json|-]
  *                                     render a markdown run report
  *                                     from a previous run's sidecars
+ *   mapp_cli cache stats|clear|warm   inspect, empty, or pre-populate
+ *                                     the persistent artifact cache
+ *
+ * Cache flags (valid before or after the command):
+ *   --cache-dir=<dir>         artifact cache root (default
+ *                             $MAPP_CACHE_DIR, else ~/.cache/mapp)
+ *   --no-cache                disable the persistent artifact cache
+ *                             for this run
  *
  * Observability flags (valid before or after the command):
  *   --trace-out=<file>        record a Chrome-trace JSON of the run
@@ -34,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/artifact_cache.h"
 #include "common/error.h"
 #include "common/log.h"
 #include "common/parallel.h"
@@ -66,7 +75,12 @@ usage()
                  "  mapp_cli tree\n"
                  "  mapp_cli report <metrics.json> "
                  "[predictions.jsonl|-] [trace.json|-]\n"
+                 "  mapp_cli cache stats|clear|warm\n"
                  "flags:\n"
+                 "  --cache-dir=<dir>      artifact cache root "
+                 "(default $MAPP_CACHE_DIR, else ~/.cache/mapp)\n"
+                 "  --no-cache             disable the persistent "
+                 "artifact cache for this run\n"
                  "  --trace-out=<file>     Chrome-trace JSON "
                  "(chrome://tracing, Perfetto)\n"
                  "  --timeline-out=<file>  plain-text event timeline\n"
@@ -146,6 +160,10 @@ extractObsOptions(std::vector<std::string>& args)
                 return std::nullopt;
             }
             parallel::setMaxThreads(threads.value());
+        } else if (auto v = flagValue("--cache-dir=")) {
+            cache::defaultArtifactCache().setDirectory(*v);
+        } else if (arg == "--no-cache") {
+            cache::defaultArtifactCache().setEnabled(false);
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "error: unknown flag '%s'\n",
                          arg.c_str());
@@ -351,6 +369,55 @@ cmdReport(const std::vector<std::string>& args)
 }
 
 int
+cmdCache(const std::string& action)
+{
+    auto& artifacts = cache::defaultArtifactCache();
+    if (action == "stats") {
+        const std::string dir = artifacts.directory();
+        std::printf("cache directory: %s%s\n",
+                    dir.empty() ? "(disabled)" : dir.c_str(),
+                    !dir.empty() && !artifacts.enabled()
+                        ? " (disabled)"
+                        : "");
+        std::size_t entries = 0;
+        std::uintmax_t bytes = 0;
+        for (const auto& kind : artifacts.scan()) {
+            std::printf("  %-10s %6zu entries  %10ju bytes\n",
+                        kind.kind.c_str(), kind.entries,
+                        static_cast<std::uintmax_t>(kind.bytes));
+            entries += kind.entries;
+            bytes += kind.bytes;
+        }
+        std::printf("  %-10s %6zu entries  %10ju bytes\n", "total",
+                    entries, bytes);
+        return 0;
+    }
+    if (action == "clear") {
+        const std::size_t removed = artifacts.clear();
+        std::printf("removed %zu cache entries\n", removed);
+        return 0;
+    }
+    if (action == "warm") {
+        if (!artifacts.enabled())
+            fatal("cache warm: the artifact cache is disabled");
+        // One full pipeline pass populates every artifact kind: traces,
+        // member records, co-runs, the campaign, and the fitted model.
+        predictor::DataCollector collector;
+        std::printf("warming the artifact cache (91-run campaign + "
+                    "model fit)...\n");
+        predictor::MultiAppPredictor model;
+        model.train(collector.collectAll(
+            predictor::DataCollector::campaign91()));
+        for (const auto& kind : cache::defaultArtifactCache().scan())
+            std::printf("  %-10s %6zu entries\n", kind.kind.c_str(),
+                        kind.entries);
+        return 0;
+    }
+    fatal("cache: unknown action '" + action +
+          "' (expected stats, clear or warm)");
+}
+
+int
 cmdTree()
 {
     predictor::DataCollector collector;
@@ -389,6 +456,8 @@ main(int argc, char** argv)
             status = cmdTree();
         else if (cmd == "report" && n >= 2 && n <= 4)
             status = cmdReport(args);
+        else if (cmd == "cache" && n == 2)
+            status = cmdCache(args[1]);
     } catch (const FatalError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         writeObsOutputs(*opts);

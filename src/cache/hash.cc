@@ -1,0 +1,26 @@
+#include "cache/hash.h"
+
+namespace mapp::cache {
+
+std::string
+Hasher::hex() const
+{
+    static const char* digits = "0123456789abcdef";
+    std::string out(16, '0');
+    std::uint64_t v = hash_;
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[v & 0xF];
+        v >>= 4;
+    }
+    return out;
+}
+
+std::uint64_t
+fnv1a(std::string_view data)
+{
+    Hasher h;
+    h.bytes(data.data(), data.size());
+    return h.digest();
+}
+
+}  // namespace mapp::cache

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The streaming FNV-1a content hasher behind every artifact-cache key.
+ *
+ * Cache keys are 64-bit FNV-1a digests over a typed field stream: each
+ * add() folds a length- or width-delimited encoding of the value into
+ * the running state, so two different field sequences can never collide
+ * by concatenation ("ab" + "c" hashes differently from "a" + "bc").
+ * Doubles are hashed by bit pattern, which is exactly the invalidation
+ * granularity the cache wants: any config change that alters a value's
+ * bits produces a new key, and bit-identical configs share one entry.
+ */
+
+#ifndef MAPP_CACHE_HASH_H
+#define MAPP_CACHE_HASH_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace mapp::cache {
+
+/** Streaming 64-bit FNV-1a over typed fields. */
+class Hasher
+{
+  public:
+    /** Fold raw bytes into the digest. */
+    Hasher& bytes(const void* data, std::size_t n)
+    {
+        const auto* p = static_cast<const unsigned char*>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001B3ull;
+        }
+        return *this;
+    }
+
+    /** Fold a string, length-prefixed so field boundaries matter. */
+    Hasher& add(std::string_view s)
+    {
+        add(static_cast<std::uint64_t>(s.size()));
+        return bytes(s.data(), s.size());
+    }
+
+    Hasher& add(std::uint64_t v)
+    {
+        unsigned char buf[8];
+        for (int i = 0; i < 8; ++i)
+            buf[i] = static_cast<unsigned char>(v >> (8 * i));
+        return bytes(buf, sizeof(buf));
+    }
+
+    Hasher& add(std::int64_t v)
+    {
+        return add(static_cast<std::uint64_t>(v));
+    }
+
+    Hasher& add(int v) { return add(static_cast<std::int64_t>(v)); }
+
+    Hasher& add(bool v)
+    {
+        return add(static_cast<std::uint64_t>(v ? 1 : 0));
+    }
+
+    /** Hash the bit pattern (no -0.0/0.0 or NaN canonicalization). */
+    Hasher& add(double v)
+    {
+        return add(std::bit_cast<std::uint64_t>(v));
+    }
+
+    Hasher& add(std::span<const double> values)
+    {
+        add(static_cast<std::uint64_t>(values.size()));
+        for (double v : values)
+            add(v);
+        return *this;
+    }
+
+    std::uint64_t digest() const { return hash_; }
+
+    /** 16-digit lower-case hex rendering of digest(). */
+    std::string hex() const;
+
+  private:
+    std::uint64_t hash_ = 0xCBF29CE484222325ull;  // FNV offset basis
+};
+
+/** FNV-1a digest of a whole buffer (the binary-format checksum). */
+std::uint64_t fnv1a(std::string_view data);
+
+}  // namespace mapp::cache
+
+#endif  // MAPP_CACHE_HASH_H

@@ -462,4 +462,69 @@ DecisionTreeRegressor::toDot() const
     return os.str();
 }
 
+DecisionTreeRegressor
+DecisionTreeRegressor::fromNodes(const std::vector<TreeNodeView>& nodes,
+                                 std::vector<std::string> feature_names,
+                                 DecisionTreeParams params)
+{
+    if (nodes.empty())
+        fatal("DecisionTreeRegressor::fromNodes: no nodes");
+    const auto n = static_cast<int>(nodes.size());
+    const auto numFeatures = static_cast<int>(feature_names.size());
+
+    DecisionTreeRegressor tree(params);
+    tree.featureNames_ = std::move(feature_names);
+    tree.nodes_.resize(nodes.size());
+
+    // Walk from the root assigning depths; every structural check a
+    // traversal relies on happens here, so predict() can stay a bare
+    // index chase. Each node may be visited at most once (tree, not
+    // DAG), which also bounds the walk and rejects cycles.
+    std::vector<char> visited(nodes.size(), 0);
+    std::vector<std::pair<int, int>> stack{{0, 0}};  // (node, depth)
+    std::size_t reached = 0;
+    while (!stack.empty()) {
+        const auto [id, depth] = stack.back();
+        stack.pop_back();
+        if (id < 0 || id >= n)
+            fatal("DecisionTreeRegressor::fromNodes: child index " +
+                  std::to_string(id) + " out of range");
+        if (visited[static_cast<std::size_t>(id)])
+            fatal("DecisionTreeRegressor::fromNodes: node " +
+                  std::to_string(id) + " reachable twice (cycle)");
+        visited[static_cast<std::size_t>(id)] = 1;
+        ++reached;
+
+        const TreeNodeView& v = nodes[static_cast<std::size_t>(id)];
+        Node& node = tree.nodes_[static_cast<std::size_t>(id)];
+        node.leaf = v.leaf;
+        node.feature = v.feature;
+        node.threshold = v.threshold;
+        node.value = v.value;
+        node.sse = v.sse;
+        node.samples = v.samples;
+        node.left = v.left;
+        node.right = v.right;
+        node.depth = depth;
+        if (v.leaf) {
+            if (v.left != -1 || v.right != -1)
+                fatal("DecisionTreeRegressor::fromNodes: leaf " +
+                      std::to_string(id) + " has children");
+            continue;
+        }
+        if (v.feature < 0 || v.feature >= numFeatures)
+            fatal("DecisionTreeRegressor::fromNodes: node " +
+                  std::to_string(id) + " tests feature " +
+                  std::to_string(v.feature) + " of " +
+                  std::to_string(numFeatures));
+        stack.emplace_back(v.right, depth + 1);
+        stack.emplace_back(v.left, depth + 1);
+    }
+    if (reached != nodes.size())
+        fatal("DecisionTreeRegressor::fromNodes: " +
+              std::to_string(nodes.size() - reached) +
+              " nodes unreachable from the root");
+    return tree;
+}
+
 }  // namespace mapp::ml

@@ -79,6 +79,21 @@ class DecisionTreeRegressor
              const std::vector<double>& targets,
              std::vector<std::string> feature_names = {});
 
+    /**
+     * Reconstruct a trained tree from serialized node views (the
+     * model-deserialization path): node 0 is the root and child
+     * indices refer into @p nodes. Structural invariants are checked —
+     * child indices in range and acyclic (each node reachable from the
+     * root at most once), internal nodes carrying a valid feature
+     * index, leaves carrying none — and node depths are recomputed, so
+     * a corrupt model file cannot produce a tree that predicts out of
+     * bounds. @throws FatalError on any violated invariant.
+     */
+    static DecisionTreeRegressor fromNodes(
+        const std::vector<TreeNodeView>& nodes,
+        std::vector<std::string> feature_names,
+        DecisionTreeParams params = {});
+
     /** Predict one sample. */
     double predict(std::span<const double> x) const;
 
@@ -106,6 +121,9 @@ class DecisionTreeRegressor
 
     /** True once fit() has run. */
     bool trained() const { return !nodes_.empty(); }
+
+    /** The hyper-parameters the tree was constructed with. */
+    const DecisionTreeParams& params() const { return params_; }
 
     /** Number of features the tree was trained on. */
     std::size_t numFeatures() const { return featureNames_.size(); }

@@ -5,15 +5,44 @@
 #include <cstdio>
 #include <limits>
 
+#include "cache/artifact_cache.h"
 #include "common/log.h"
 #include "common/parallel.h"
+#include "ml/dataset_binary.h"
 #include "ml/metrics.h"
+#include "ml/model_binary.h"
 #include "obs/audit.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "predictor/quality.h"
 
 namespace mapp::predictor {
+
+namespace {
+
+/**
+ * Artifact key for a fitted tree: the exact training data (hashed row
+ * by row), the tree hyper-parameters, and the feature scheme. Fitting
+ * is deterministic in those inputs, so a hit reconstructs the same
+ * tree bit for bit.
+ */
+std::uint64_t
+modelKey(const ml::Dataset& raw, const ml::DecisionTreeParams& tree,
+         const std::vector<std::string>& scheme_names)
+{
+    cache::Hasher h = cache::keyHasher("model");
+    ml::hashDataset(h, raw);
+    h.add(tree.maxDepth);
+    h.add(tree.minSamplesSplit);
+    h.add(tree.minSamplesLeaf);
+    h.add(tree.minImpurityDecrease);
+    h.add(static_cast<std::uint64_t>(scheme_names.size()));
+    for (const auto& name : scheme_names)
+        h.add(name);
+    return h.digest();
+}
+
+}  // namespace
 
 MultiAppPredictor::MultiAppPredictor(PredictorParams params)
     : params_(std::move(params))
@@ -61,8 +90,26 @@ MultiAppPredictor::train(const ml::Dataset& raw)
     const obs::ScopedPhase phase("tree-training");
     const ml::Dataset prepared = projectAndNormalizeTrain(raw);
     trainLayout_ = ml::Dataset(prepared.featureNames());
-    tree_.emplace(params_.tree);
-    tree_->fit(prepared);
+
+    // Model artifacts: a warm process reconstructs the fitted tree
+    // from its binary record instead of refitting; the normalizer and
+    // audit tables are cheap deterministic functions of `prepared`, so
+    // they are rebuilt either way and match the fitted-from-scratch
+    // state exactly.
+    auto& artifacts = cache::defaultArtifactCache();
+    const std::uint64_t key = modelKey(raw, params_.tree, schemeNames_);
+    auto loaded = artifacts.loadAndParse(
+        "model", key,
+        [](const std::string& blob, const std::string& path) {
+            return ml::treeFromBinary(blob, path);
+        });
+    if (loaded) {
+        tree_ = std::move(*loaded);
+    } else {
+        tree_.emplace(params_.tree);
+        tree_->fit(prepared);
+        artifacts.store("model", key, ml::treeToBinary(*tree_));
+    }
     compiled_ = ml::CompiledTree(*tree_);
     buildAuditTables(prepared);
 }

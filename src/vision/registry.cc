@@ -4,8 +4,11 @@
 #include <memory>
 #include <mutex>
 
+#include "cache/artifact_cache.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "isa/trace_binary.h"
+#include "obs/metrics.h"
 #include "profiler/op_profiler.h"
 #include "vision/facedet.h"
 #include "vision/fast.h"
@@ -189,6 +192,24 @@ struct TraceCacheEntry
     isa::WorkloadTrace trace;
 };
 
+/**
+ * Artifact-cache key for one profiled trace: identity (benchmark,
+ * batch) plus every knob the profile depends on — the synthetic image
+ * size, the per-image sampling width, and the profiling seed — so a
+ * change to any of them lands on a fresh key.
+ */
+std::uint64_t
+traceCacheKey(BenchmarkId id, int batch_size)
+{
+    cache::Hasher h = cache::keyHasher("trace");
+    h.add(benchmarkName(id));
+    h.add(batch_size);
+    h.add(kImageSize);
+    h.add(kSampleImages);
+    h.add(std::uint64_t{0});  // profileWorkload's default seed
+    return h.digest();
+}
+
 }  // namespace
 
 const isa::WorkloadTrace&
@@ -218,9 +239,35 @@ cachedTrace(BenchmarkId id, int batch_size)
         }
         entry = it->second;
     }
+    // In-memory hit/miss accounting: the call that runs the once-body
+    // is the miss; everyone else (including racers that waited on the
+    // flag) found a profiled slot.
+    bool missed = false;
     std::call_once(entry->once, [&] {
-        entry->trace = profileWorkload(id, batch_size);
+        missed = true;
+        // Cross-process layer: a previously profiled trace loads from
+        // the artifact cache in microseconds; a corrupt or
+        // version-mismatched entry is evicted inside loadAndParse and
+        // we re-profile and rewrite it.
+        auto& artifacts = mapp::cache::defaultArtifactCache();
+        const std::uint64_t diskKey = traceCacheKey(id, batch_size);
+        auto loaded = artifacts.loadAndParse(
+            "trace", diskKey,
+            [](const std::string& blob, const std::string& path) {
+                return isa::traceFromBinary(blob, path);
+            });
+        if (loaded) {
+            entry->trace = std::move(*loaded);
+        } else {
+            entry->trace = profileWorkload(id, batch_size);
+            artifacts.store("trace", diskKey,
+                            isa::traceToBinary(entry->trace));
+        }
     });
+    obs::defaultRegistry()
+        .counter(missed ? "registry.trace_cache_misses"
+                        : "registry.trace_cache_hits")
+        .add(1);
     return entry->trace;
 }
 

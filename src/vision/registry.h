@@ -86,7 +86,12 @@ isa::WorkloadTrace profileWorkload(BenchmarkId id, int batch_size,
 
 /**
  * Memoized profileWorkload: one profile per (benchmark, batch size) per
- * process. The returned reference stays valid for the process lifetime.
+ * process, backed by the persistent artifact cache so later processes
+ * load the binary trace instead of re-profiling (corrupt entries fall
+ * back to re-profiling transparently). In-memory hits and misses are
+ * counted under `registry.trace_cache_{hits,misses}`; the disk layer
+ * reports under `cache.*`. The returned reference stays valid for the
+ * process lifetime.
  */
 const isa::WorkloadTrace& cachedTrace(BenchmarkId id, int batch_size);
 

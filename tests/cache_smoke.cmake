@@ -1,0 +1,109 @@
+# End-to-end smoke for the persistent artifact cache: run the campaign
+# collection twice against a fresh cache directory, assert the second
+# (warm) run served from the cache and produced byte-identical output,
+# then exercise `cache stats` and `cache clear`. Driven by ctest:
+#   cmake -DMAPP_CLI=<path> -DWORK_DIR=<dir> -P cache_smoke.cmake
+
+foreach(var MAPP_CLI WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "cache_smoke: -D${var}=... is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(cache_dir "${WORK_DIR}/cache")
+set(cold_csv "${WORK_DIR}/cold.csv")
+set(warm_csv "${WORK_DIR}/warm.csv")
+set(cold_metrics "${WORK_DIR}/cold.metrics.json")
+set(warm_metrics "${WORK_DIR}/warm.metrics.json")
+
+# Cold run: everything computed, everything stored.
+execute_process(
+    COMMAND "${MAPP_CLI}" "--cache-dir=${cache_dir}"
+            "--metrics-out=${cold_metrics}"
+            collect "${cold_csv}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "cache_smoke: cold collect failed (${rc}):\n${out}\n${err}")
+endif()
+
+file(READ "${cold_metrics}" cold_json)
+string(FIND "${cold_json}" "\"cache.bytes_written\"" pos)
+if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "cache_smoke: cold run wrote nothing to the cache:\n"
+            "${cold_json}")
+endif()
+
+# Warm run in a fresh process: must hit the cache and reproduce the
+# dataset byte for byte.
+execute_process(
+    COMMAND "${MAPP_CLI}" "--cache-dir=${cache_dir}"
+            "--metrics-out=${warm_metrics}"
+            collect "${warm_csv}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "cache_smoke: warm collect failed (${rc}):\n${out}\n${err}")
+endif()
+
+file(READ "${warm_metrics}" warm_json)
+string(FIND "${warm_json}" "\"cache.hits\"" pos)
+if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "cache_smoke: warm run had no cache hits:\n${warm_json}")
+endif()
+
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${cold_csv}" "${warm_csv}"
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "cache_smoke: warm dataset differs from the cold one")
+endif()
+
+# Stats must list the populated kinds.
+execute_process(
+    COMMAND "${MAPP_CLI}" "--cache-dir=${cache_dir}" cache stats
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stats
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "cache_smoke: cache stats failed (${rc}):\n${stats}\n${err}")
+endif()
+foreach(kind trace member cpurun gpurun campaign)
+    string(FIND "${stats}" "${kind}" pos)
+    if(pos EQUAL -1)
+        message(FATAL_ERROR
+                "cache_smoke: stats is missing kind '${kind}':\n"
+                "${stats}")
+    endif()
+endforeach()
+
+# Clear must empty the cache.
+execute_process(
+    COMMAND "${MAPP_CLI}" "--cache-dir=${cache_dir}" cache clear
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "cache_smoke: cache clear failed (${rc}):\n${out}\n${err}")
+endif()
+execute_process(
+    COMMAND "${MAPP_CLI}" "--cache-dir=${cache_dir}" cache stats
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE stats)
+string(FIND "${stats}" "total           0 entries" pos)
+if(pos EQUAL -1)
+    message(FATAL_ERROR
+            "cache_smoke: cache is not empty after clear:\n${stats}")
+endif()
