@@ -1,0 +1,281 @@
+/**
+ * @file
+ * The prediction-service microbench: closed-loop clients against an
+ * in-process PredictionService, sweeping the micro-batcher's linger
+ * window against the number of concurrent clients. Reports sustained
+ * rows/sec, mean end-to-end latency and the realized batch size per
+ * configuration, next to the raw single-thread predict() floor. Every
+ * number lands in the metrics sidecar (bench.serve.* gauges) so the
+ * serving path's perf trajectory is measured, not asserted.
+ *
+ * Flags:
+ *   --iters=<n>  per-configuration row budget (default 400; the
+ *                bench_smoke ctest entry passes a tiny value so the
+ *                whole path is compile- and run-checked in tier 1).
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/parse.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "obs/metrics.h"
+#include "predictor/predictor.h"
+#include "serve/service.h"
+
+using namespace mapp;
+
+namespace {
+
+/** Synthetic app with a normalized instruction mix. */
+predictor::AppFeatures
+syntheticApp(Rng& rng, int index)
+{
+    predictor::AppFeatures app;
+    app.app = "app" + std::to_string(index % 7);
+    app.batchSize = static_cast<int>(rng.uniformInt(1, 100));
+    app.cpuTime = rng.uniform(0.01, 2.0);
+    app.gpuTime = rng.uniform(0.01, 1.0);
+    double total = 0.0;
+    for (auto& m : app.mixPercent) {
+        m = rng.uniform(0.0, 1.0);
+        total += m;
+    }
+    for (auto& m : app.mixPercent)
+        m = 100.0 * m / total;
+    return app;
+}
+
+/**
+ * A small synthetic campaign and model: the bench measures the service
+ * machinery (queue, linger, batching, callbacks), not simulator or
+ * training cost, so a fast deterministic model keeps every run cheap
+ * and the per-prediction compute realistic (a trained tree walk).
+ */
+std::shared_ptr<const predictor::MultiAppPredictor>
+syntheticModel()
+{
+    Rng rng(41);
+    std::vector<predictor::DataPoint> points;
+    points.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+        predictor::DataPoint p;
+        p.a = syntheticApp(rng, i);
+        p.b = syntheticApp(rng, i + 3);
+        p.fairness = rng.uniform(0.2, 1.0);
+        p.gpuBagTime = p.a.gpuTime + p.b.gpuTime +
+                       0.25 * p.fairness * p.a.gpuTime;
+        points.push_back(std::move(p));
+    }
+    auto model = std::make_shared<predictor::MultiAppPredictor>();
+    model->train(points);
+    return model;
+}
+
+std::vector<predictor::BagQuery>
+syntheticQueries(int n)
+{
+    Rng rng(42);
+    std::vector<predictor::BagQuery> queries;
+    queries.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        predictor::BagQuery q;
+        q.a = syntheticApp(rng, i);
+        q.b = syntheticApp(rng, i + 5);
+        q.fairness = rng.uniform(0.2, 1.0);
+        queries.push_back(std::move(q));
+    }
+    return queries;
+}
+
+struct ConfigResult
+{
+    double rowsPerSec = 0.0;
+    double meanLatencyUs = 0.0;
+    double meanBatchRows = 0.0;
+};
+
+/**
+ * Closed-loop load: @p clients threads each submit one single-row job
+ * at a time and wait for its answer before the next — the shape a
+ * resident service actually sees, and the one where the linger window
+ * trades per-request latency for batch size across clients.
+ */
+ConfigResult
+runConfig(const std::shared_ptr<const predictor::MultiAppPredictor>&
+              model,
+          const std::vector<predictor::BagQuery>& queries,
+          double lingerMs, int clients, long rowBudget)
+{
+    serve::ServiceOptions options;
+    options.lingerMs = lingerMs;
+    options.batchRows = 32;
+    options.queueCapacityRows = 4096;
+    serve::PredictionService service(model, nullptr, options);
+
+    const double batchesBefore =
+        obs::defaultRegistry().counter("serve.batches").value();
+    const long perClient =
+        std::max(1L, rowBudget / std::max(clients, 1));
+    const long totalRows = perClient * clients;
+
+    std::mutex latencyMutex;
+    double latencySum = 0.0;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c)
+        threads.emplace_back([&, c] {
+            double mySum = 0.0;
+            for (long j = 0; j < perClient; ++j) {
+                const auto& query = queries[static_cast<std::size_t>(
+                    (c * perClient + j) % static_cast<long>(
+                                               queries.size()))];
+                std::mutex m;
+                std::condition_variable cv;
+                bool answered = false;
+                const auto sent = std::chrono::steady_clock::now();
+                service.submit(
+                    {query}, 0.0, [&](serve::JobResult result) {
+                        if (!result.ok)
+                            std::fprintf(stderr,
+                                         "FATAL: serve bench job "
+                                         "failed: %s\n",
+                                         result.error.c_str());
+                        std::lock_guard<std::mutex> lock(m);
+                        answered = true;
+                        cv.notify_one();
+                    });
+                {
+                    std::unique_lock<std::mutex> lock(m);
+                    cv.wait(lock, [&] { return answered; });
+                }
+                mySum += std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - sent)
+                             .count();
+            }
+            std::lock_guard<std::mutex> lock(latencyMutex);
+            latencySum += mySum;
+        });
+    for (auto& t : threads)
+        t.join();
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    service.drain();
+    const double batches =
+        obs::defaultRegistry().counter("serve.batches").value() -
+        batchesBefore;
+
+    ConfigResult result;
+    result.rowsPerSec =
+        elapsed > 0.0 ? static_cast<double>(totalRows) / elapsed : 0.0;
+    result.meanLatencyUs = latencySum / static_cast<double>(totalRows);
+    result.meanBatchRows =
+        batches > 0.0 ? static_cast<double>(totalRows) / batches : 0.0;
+    return result;
+}
+
+void
+setGauge(const std::string& key, double value)
+{
+    obs::defaultRegistry().gauge(key).set(value);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    long iters = 400;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--iters=", 0) == 0) {
+            const auto v = parseBoundedInt(
+                arg.substr(std::string("--iters=").size()), 1,
+                1 << 24);
+            if (!v) {
+                std::fprintf(stderr, "error: bad --iters: %s\n",
+                             v.error().message().c_str());
+                return 1;
+            }
+            iters = v.value();
+        } else {
+            std::fprintf(stderr, "error: unknown flag '%s'\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+
+    std::printf("== Prediction-service microbench - closed-loop "
+                "clients vs. linger window ==\n\n");
+
+    const auto model = syntheticModel();
+    const auto queries = syntheticQueries(256);
+
+    // The floor every configuration is measured against: one thread
+    // calling the model directly, no queue, no batching, no wakeups.
+    double directNs = 0.0;
+    {
+        const long reps = std::max(1L, iters);
+        double sink = 0.0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (long r = 0; r < reps; ++r) {
+            const auto& q =
+                queries[static_cast<std::size_t>(r) % queries.size()];
+            sink += model->predict(q.a, q.b, q.fairness);
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+        directNs = 1e9 *
+                   std::chrono::duration<double>(t1 - t0).count() /
+                   static_cast<double>(reps);
+        if (sink == -1.0)  // keep the loop observable
+            std::printf("%f\n", sink);
+    }
+    setGauge("bench.serve.direct_ns_per_pred", directNs);
+    std::printf("direct predict() floor: %.0f ns/pred "
+                "(single thread, no service)\n\n",
+                directNs);
+
+    const double lingers[] = {0.0, 1.0, 2.0, 5.0};
+    const int clientCounts[] = {1, 4, 8};
+
+    TextTable table("closed-loop service throughput / latency "
+                    "(batch cap 32 rows)");
+    table.setHeader({"linger ms", "clients", "rows/sec",
+                     "mean latency us", "mean batch rows"});
+    for (const double lingerMs : lingers) {
+        for (const int clients : clientCounts) {
+            const auto r =
+                runConfig(model, queries, lingerMs, clients, iters);
+            table.addRow({formatDouble(lingerMs, 1),
+                          std::to_string(clients),
+                          formatDouble(r.rowsPerSec, 0),
+                          formatDouble(r.meanLatencyUs, 1),
+                          formatDouble(r.meanBatchRows, 2)});
+            const std::string prefix =
+                "bench.serve.linger" +
+                std::to_string(static_cast<int>(lingerMs * 10)) +
+                ".clients" + std::to_string(clients);
+            setGauge(prefix + ".rows_per_sec", r.rowsPerSec);
+            setGauge(prefix + ".mean_latency_us", r.meanLatencyUs);
+            setGauge(prefix + ".mean_batch_rows", r.meanBatchRows);
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "linger is the latency/batching trade: 0 ms answers each "
+        "request alone, larger windows coalesce concurrent clients "
+        "into one compiled predictBatch call.\n");
+    return 0;
+}

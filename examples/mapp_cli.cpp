@@ -16,6 +16,19 @@
  *                                     from a previous run's sidecars
  *   mapp_cli cache stats|clear|warm   inspect, empty, or pre-populate
  *                                     the persistent artifact cache
+ *   mapp_cli serve [--socket=PATH]    resident prediction service:
+ *                                     JSONL requests over a Unix socket
+ *                                     (or stdin/stdout), micro-batched
+ *                                     through the compiled engine
+ *
+ * Serve flags (serve only):
+ *   --socket=<path>           listen on a Unix-domain socket; without
+ *                             it the service speaks stdin/stdout
+ *   --stdin                   explicit stdin/stdout transport
+ *   --queue-rows=<n>          admission bound in queued rows (1024)
+ *   --batch-rows=<n>          micro-batch flush size in rows (32)
+ *   --linger-ms=<ms>          max wait for batch-mates (2.0)
+ *   --default-deadline-ms=<ms> deadline for requests without one (off)
  *
  * Cache flags (valid before or after the command):
  *   --cache-dir=<dir>         artifact cache root (default
@@ -38,6 +51,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +61,7 @@
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/parse.h"
+#include "common/shutdown.h"
 #include "isa/trace_io.h"
 #include "ml/dataset_io.h"
 #include "obs/audit.h"
@@ -58,6 +73,8 @@
 #include "predictor/data_collection.h"
 #include "predictor/predictor.h"
 #include "predictor/schemes.h"
+#include "serve/server.h"
+#include "serve/service.h"
 
 using namespace mapp;
 
@@ -76,6 +93,9 @@ usage()
                  "  mapp_cli report <metrics.json> "
                  "[predictions.jsonl|-] [trace.json|-]\n"
                  "  mapp_cli cache stats|clear|warm\n"
+                 "  mapp_cli serve [--socket=<path> | --stdin] "
+                 "[--queue-rows=<n>] [--batch-rows=<n>] "
+                 "[--linger-ms=<ms>] [--default-deadline-ms=<ms>]\n"
                  "flags:\n"
                  "  --cache-dir=<dir>      artifact cache root "
                  "(default $MAPP_CACHE_DIR, else ~/.cache/mapp)\n"
@@ -97,6 +117,15 @@ usage()
     return 2;
 }
 
+/** Flags of the serve subcommand (rejected for every other command). */
+struct ServeFlags
+{
+    bool any = false;  ///< a serve flag appeared on the command line
+    bool stdinMode = false;
+    std::string socketPath;
+    serve::ServiceOptions service;
+};
+
 /** Observability flags shared by every subcommand. */
 struct ObsOptions
 {
@@ -106,6 +135,7 @@ struct ObsOptions
     std::string metricsPromOut;
     std::string predictionsOut;
     int auditSample = 1;
+    ServeFlags serve;
 };
 
 /**
@@ -164,6 +194,57 @@ extractObsOptions(std::vector<std::string>& args)
             cache::defaultArtifactCache().setDirectory(*v);
         } else if (arg == "--no-cache") {
             cache::defaultArtifactCache().setEnabled(false);
+        } else if (auto v = flagValue("--socket=")) {
+            if (v->empty()) {
+                std::fprintf(stderr,
+                             "error: --socket needs a path\n");
+                return std::nullopt;
+            }
+            opts.serve.socketPath = *v;
+            opts.serve.any = true;
+        } else if (arg == "--stdin") {
+            opts.serve.stdinMode = true;
+            opts.serve.any = true;
+        } else if (auto v = flagValue("--queue-rows=")) {
+            const auto rows = parseBoundedInt(*v, 1, 1 << 24);
+            if (!rows) {
+                std::fprintf(stderr, "error: bad queue bound: %s\n",
+                             rows.error().message().c_str());
+                return std::nullopt;
+            }
+            opts.serve.service.queueCapacityRows =
+                static_cast<std::size_t>(rows.value());
+            opts.serve.any = true;
+        } else if (auto v = flagValue("--batch-rows=")) {
+            const auto rows = parseBoundedInt(*v, 1, 1 << 20);
+            if (!rows) {
+                std::fprintf(stderr, "error: bad batch size: %s\n",
+                             rows.error().message().c_str());
+                return std::nullopt;
+            }
+            opts.serve.service.batchRows =
+                static_cast<std::size_t>(rows.value());
+            opts.serve.any = true;
+        } else if (auto v = flagValue("--linger-ms=")) {
+            const auto ms = parseDouble(*v);
+            if (!ms || ms.value() < 0.0) {
+                std::fprintf(
+                    stderr,
+                    "error: --linger-ms needs a non-negative number\n");
+                return std::nullopt;
+            }
+            opts.serve.service.lingerMs = ms.value();
+            opts.serve.any = true;
+        } else if (auto v = flagValue("--default-deadline-ms=")) {
+            const auto ms = parseDouble(*v);
+            if (!ms || ms.value() < 0.0) {
+                std::fprintf(stderr,
+                             "error: --default-deadline-ms needs a "
+                             "non-negative number\n");
+                return std::nullopt;
+            }
+            opts.serve.service.defaultDeadlineMs = ms.value();
+            opts.serve.any = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "error: unknown flag '%s'\n",
                          arg.c_str());
@@ -428,6 +509,46 @@ cmdTree()
     return 0;
 }
 
+int
+cmdServe(const ServeFlags& flags)
+{
+    if (!flags.socketPath.empty() && flags.stdinMode)
+        fatal("serve: --socket and --stdin are mutually exclusive");
+
+    predictor::DataCollector collector;
+    const auto buildModel =
+        [&collector]()
+        -> std::shared_ptr<const predictor::MultiAppPredictor> {
+        auto model = std::make_shared<predictor::MultiAppPredictor>();
+        model->train(collector.collectAll(
+            predictor::DataCollector::campaign91()));
+        return model;
+    };
+    inform("training on the 91-run campaign...");
+    serve::PredictionService service(buildModel(), buildModel,
+                                     flags.service);
+    serve::Server server(service, collector);
+
+    // Replace the flush-and-exit handler for the serve loop's
+    // lifetime: a signal now triggers a graceful drain (stop
+    // accepting, answer every admitted job) and the normal sidecar
+    // flush runs on the way out of main. A second signal still kills
+    // the process immediately (see installShutdownHandler).
+    installShutdownHandler(
+        [&server](int) { server.requestStop(); });
+    const auto cause = flags.socketPath.empty()
+                           ? server.serveStdio()
+                           : server.serveSocket(flags.socketPath);
+    // The server is about to die; a late signal must not touch it.
+    installShutdownHandler(
+        [](int signo) { std::_Exit(128 + signo); });
+    if (cause == serve::StopCause::Signal) {
+        inform("drained after signal");
+        return 128 + shutdownSignal();
+    }
+    return 0;
+}
+
 }  // namespace
 
 int
@@ -442,6 +563,22 @@ main(int argc, char** argv)
 
     const std::string cmd = args[0];
     const std::size_t n = args.size();
+    if (opts->serve.any && cmd != "serve") {
+        std::fprintf(stderr,
+                     "error: serve flags are only valid with the "
+                     "serve command\n");
+        return 2;
+    }
+
+    // A SIGINT/SIGTERM must not drop the buffered sidecars (trace,
+    // prediction provenance, metrics): flush them all, then exit with
+    // the conventional 128+signo status. The serve command swaps in a
+    // graceful-drain callback for the duration of its loop.
+    installShutdownHandler([&opts](int signo) {
+        writeObsOutputs(*opts);
+        std::_Exit(128 + signo);
+    });
+
     int status = -1;
     try {
         if (cmd == "collect" && n == 2)
@@ -458,6 +595,8 @@ main(int argc, char** argv)
             status = cmdReport(args);
         else if (cmd == "cache" && n == 2)
             status = cmdCache(args[1]);
+        else if (cmd == "serve" && n == 1)
+            status = cmdServe(opts->serve);
     } catch (const FatalError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         writeObsOutputs(*opts);

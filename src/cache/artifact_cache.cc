@@ -1,14 +1,13 @@
 #include "cache/artifact_cache.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
-#include <unistd.h>
 
+#include "common/file_io.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 
@@ -153,34 +152,12 @@ ArtifactCache::store(std::string_view kind, std::uint64_t key,
         return false;
     }
 
-    // Unique temp name per writer so concurrent stores of the same key
-    // never clobber each other's partial file; rename() is atomic, so
-    // readers only ever see complete blobs (last writer wins, and all
-    // writers of one key carry identical content by construction).
-    static std::atomic<std::uint64_t> tempSeq{0};
-    const std::string temp =
-        path + ".tmp." +
-        std::to_string(tempSeq.fetch_add(1, std::memory_order_relaxed)) +
-        "." + std::to_string(::getpid());
-    {
-        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-        if (!out) {
-            warn("artifact cache: cannot write " + temp);
-            return false;
-        }
-        out.write(blob.data(),
-                  static_cast<std::streamsize>(blob.size()));
-        if (!out.good()) {
-            out.close();
-            fs::remove(temp, ec);
-            warn("artifact cache: short write to " + temp);
-            return false;
-        }
-    }
-    fs::rename(temp, path, ec);
-    if (ec) {
-        fs::remove(temp, ec);
-        warn("artifact cache: cannot rename into " + path);
+    // Concurrent stores of the same key are safe: writeFileAtomic uses
+    // a unique temp per writer and an atomic rename, so readers only
+    // ever see complete blobs (last writer wins, and all writers of one
+    // key carry identical content by construction).
+    if (!writeFileAtomic(path, blob)) {
+        warn("artifact cache: cannot write " + path);
         return false;
     }
     obs::defaultRegistry()

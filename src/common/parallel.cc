@@ -5,7 +5,9 @@
 #include <exception>
 #include <string>
 
+#include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mapp::parallel {
 
@@ -13,6 +15,18 @@ namespace {
 
 /** 0 = no override; set via setMaxThreads(). */
 std::atomic<int> gMaxThreadsOverride{0};
+
+/**
+ * Flipped when the global pool's static destruction begins, so late
+ * parallelFor callers (atexit handlers, other static destructors) run
+ * their loops inline instead of calling into a dead pool.
+ */
+std::atomic<bool> gPoolRetired{false};
+
+struct PoolRetireFlag
+{
+    ~PoolRetireFlag() { gPoolRetired.store(true, std::memory_order_relaxed); }
+};
 
 int
 envOrHardwareThreads()
@@ -142,10 +156,25 @@ ThreadPool::workerLoop()
 ThreadPool&
 globalPool()
 {
-    // Sized once from the budget at first parallel use; intentionally
-    // leaked via static storage so atexit-registered code may still
-    // submit (it will run inline after destruction begins).
+    // Shutdown ordering: pool workers (and the tasks the destructor
+    // drains) touch the process-wide obs singletons, so those magic
+    // statics must finish construction BEFORE the pool's does — C++
+    // destroys function-local statics in reverse completion order, so
+    // this guarantees the registry/tracer/prediction-log outlive the
+    // joined workers. Without the pin, a singleton first constructed
+    // from a worker task (e.g. the prediction log on a serve-mode
+    // audit) would be destroyed while the pool still drains.
+    obs::defaultRegistry();
+    obs::tracer();
+    obs::predictionLog();
+    // Sized once from the budget at first parallel use. The destructor
+    // drains the queue and joins every worker.
     static ThreadPool pool(maxThreads() - 1);
+    // Completes construction after `pool`, so it is destroyed first:
+    // the retired flag flips before the pool's destructor runs and
+    // every later parallelFor stays serial (see parallelFor).
+    static const PoolRetireFlag retire;
+    (void)retire;
     return pool;
 }
 
@@ -157,7 +186,8 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)>& body)
 
     const auto lanes =
         enabled() ? static_cast<std::size_t>(maxThreads()) : 1;
-    if (lanes <= 1 || n == 1) {
+    if (lanes <= 1 || n == 1 ||
+        gPoolRetired.load(std::memory_order_relaxed)) {
         for (std::size_t i = 0; i < n; ++i)
             body(i);
         return;

@@ -1,0 +1,104 @@
+#include "common/shutdown.h"
+
+#include <atomic>
+#include <csignal>
+#include <mutex>
+#include <thread>
+#include <unistd.h>
+
+namespace mapp {
+
+namespace {
+
+int gPipe[2] = {-1, -1};
+std::atomic<int> gSignal{0};
+std::atomic<int> gDeliveries{0};
+std::atomic<bool> gInstalled{false};
+std::mutex gCallbackMutex;
+ShutdownCallback gCallback;  // guarded by gCallbackMutex
+
+/** Async-signal-safe: one write() to the self-pipe, nothing else. */
+void
+signalHandler(int signo)
+{
+    if (gDeliveries.fetch_add(1, std::memory_order_relaxed) > 0)
+        ::_exit(128 + signo);  // second signal: bail out immediately
+    gSignal.store(signo, std::memory_order_relaxed);
+    const unsigned char byte = static_cast<unsigned char>(signo);
+    [[maybe_unused]] const ssize_t n = ::write(gPipe[1], &byte, 1);
+}
+
+void
+watcherLoop()
+{
+    unsigned char byte = 0;
+    for (;;) {
+        const ssize_t n = ::read(gPipe[0], &byte, 1);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            return;  // pipe closed: process is exiting
+        ShutdownCallback callback;
+        {
+            std::lock_guard<std::mutex> lock(gCallbackMutex);
+            callback = gCallback;
+        }
+        if (callback)
+            callback(static_cast<int>(byte));
+        // Loop on: a synthetic requestShutdown() followed by a real
+        // signal exits in the handler, so at most one more byte can
+        // ever arrive; blocking here parks the thread until exit.
+    }
+}
+
+}  // namespace
+
+void
+installShutdownHandler(ShutdownCallback callback)
+{
+    {
+        std::lock_guard<std::mutex> lock(gCallbackMutex);
+        gCallback = std::move(callback);
+    }
+    bool expected = false;
+    if (!gInstalled.compare_exchange_strong(expected, true))
+        return;  // handlers + watcher already live; callback swapped
+    if (::pipe(gPipe) != 0) {
+        gInstalled.store(false);
+        return;
+    }
+    std::thread(watcherLoop).detach();
+    struct sigaction sa = {};
+    sa.sa_handler = signalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+shutdownRequested()
+{
+    return gDeliveries.load(std::memory_order_relaxed) > 0;
+}
+
+int
+shutdownSignal()
+{
+    return gSignal.load(std::memory_order_relaxed);
+}
+
+void
+requestShutdown(int signo)
+{
+    if (!gInstalled.load(std::memory_order_relaxed))
+        return;
+    int expected = 0;
+    if (!gDeliveries.compare_exchange_strong(expected, 1))
+        return;  // a real signal (or earlier request) won the race
+    gSignal.store(signo, std::memory_order_relaxed);
+    const unsigned char byte = static_cast<unsigned char>(signo);
+    [[maybe_unused]] const ssize_t n = ::write(gPipe[1], &byte, 1);
+}
+
+}  // namespace mapp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Process shutdown signal handling (SIGINT/SIGTERM) shared by the CLI
+ * and the resident prediction service.
+ *
+ * Without a handler, Ctrl-C kills the process mid-pipeline and every
+ * buffered observability artifact — trace events, the prediction
+ * provenance ring, the metrics registry — is silently dropped. The
+ * handler here is async-signal-safe: the sigaction callback only
+ * write()s the signal number to a self-pipe; a dedicated watcher
+ * thread reads the pipe and runs the registered (arbitrary, non
+ * signal-safe) callback, which may flush sidecars and _exit(128+sig),
+ * or — in serve mode — begin a graceful drain and let the serve loop
+ * exit normally.
+ *
+ * A second delivery of a fatal signal bypasses the callback and
+ * _exit()s immediately, so a hung flush can always be interrupted.
+ */
+
+#ifndef MAPP_COMMON_SHUTDOWN_H
+#define MAPP_COMMON_SHUTDOWN_H
+
+#include <functional>
+
+namespace mapp {
+
+/** Runs on the watcher thread after the first SIGINT/SIGTERM. */
+using ShutdownCallback = std::function<void(int signo)>;
+
+/**
+ * Install (or replace) the shutdown callback and, on first call, the
+ * SIGINT/SIGTERM sigaction handlers plus the watcher thread. The
+ * callback runs once, on the watcher thread, after the first signal;
+ * a second signal _exit(128+sig)s immediately. Replacing the callback
+ * after a signal already fired has no effect.
+ */
+void installShutdownHandler(ShutdownCallback callback);
+
+/** True once a shutdown signal has been delivered. */
+bool shutdownRequested();
+
+/** The delivered signal number (0 until shutdownRequested()). */
+int shutdownSignal();
+
+/**
+ * Deliver a synthetic shutdown to the installed handler as if @p signo
+ * had arrived (tests; also lets EOF-driven paths reuse the drain
+ * callback). No-op when no handler is installed.
+ */
+void requestShutdown(int signo);
+
+}  // namespace mapp
+
+#endif  // MAPP_COMMON_SHUTDOWN_H

@@ -6,6 +6,7 @@
 
 #include "common/csv.h"
 #include "common/error.h"
+#include "common/file_io.h"
 #include "common/log.h"
 #include "common/parse.h"
 
@@ -139,12 +140,8 @@ traceFromCsv(const std::string& text, const std::string& source)
 void
 writeTraceFile(const WorkloadTrace& trace, const std::string& path)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        raise({ErrorCode::Io, "cannot open for writing", {path, 0, ""}});
-    out << traceToCsv(trace);
-    if (!out)
-        raise({ErrorCode::Io, "write failed", {path, 0, ""}});
+    if (!writeFileAtomic(path, traceToCsv(trace)))
+        raise({ErrorCode::Io, "cannot write file", {path, 0, ""}});
 }
 
 WorkloadTrace

@@ -5,6 +5,7 @@
 
 #include "common/csv.h"
 #include "common/error.h"
+#include "common/file_io.h"
 #include "common/log.h"
 #include "common/parse.h"
 
@@ -88,12 +89,8 @@ datasetFromCsv(const std::string& text, const std::string& source)
 void
 writeDatasetFile(const Dataset& data, const std::string& path)
 {
-    std::ofstream out(path, std::ios::binary);
-    if (!out)
-        raise({ErrorCode::Io, "cannot open for writing", {path, 0, ""}});
-    out << datasetToCsv(data);
-    if (!out)
-        raise({ErrorCode::Io, "write failed", {path, 0, ""}});
+    if (!writeFileAtomic(path, datasetToCsv(data)))
+        raise({ErrorCode::Io, "cannot write file", {path, 0, ""}});
 }
 
 Dataset

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "common/file_io.h"
 #include "common/log.h"
 #include "obs/json_util.h"
 
@@ -137,11 +138,7 @@ PredictionLog::toJsonl() const
 bool
 PredictionLog::writeJsonl(const std::string& path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << toJsonl();
-    return static_cast<bool>(out);
+    return writeFileAtomic(path, toJsonl());
 }
 
 PredictionLog&

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "common/file_io.h"
 #include "common/log.h"
 #include "obs/json_util.h"
 
@@ -301,11 +302,7 @@ Registry::toJson() const
 bool
 Registry::writeJson(const std::string& path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << toJson();
-    return static_cast<bool>(out);
+    return writeFileAtomic(path, toJson());
 }
 
 Registry&

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <set>
+
+#include "common/file_io.h"
 
 namespace mapp::obs {
 
@@ -44,18 +47,38 @@ std::string
 writePrometheus(const RegistrySnapshot& snapshot)
 {
     std::string out;
+    // Registry names are free-form ("bench.cache.hits", "serve-queue")
+    // and sanitize many-to-one; a duplicate metric name (or a second
+    // TYPE line for one name) makes the whole exposition invalid to a
+    // 0.0.4 scraper, so only the first instrument mapping to a
+    // sanitized name is emitted and later collisions become comments.
+    std::set<std::string> emitted;
+    const auto claim = [&](const std::string& prom,
+                           std::string_view original) {
+        if (emitted.insert(prom).second)
+            return true;
+        out += "# mapp: skipped '" + std::string(original) +
+               "': sanitized name " + prom + " already emitted\n";
+        return false;
+    };
     for (const auto& [name, value] : snapshot.counters) {
         const std::string prom = prometheusName(name);
+        if (!claim(prom, name))
+            continue;
         out += "# TYPE " + prom + " counter\n";
         out += prom + " " + std::to_string(value) + "\n";
     }
     for (const auto& [name, value] : snapshot.gauges) {
         const std::string prom = prometheusName(name);
+        if (!claim(prom, name))
+            continue;
         out += "# TYPE " + prom + " gauge\n";
         out += prom + " " + promNumber(value) + "\n";
     }
     for (const auto& h : snapshot.histograms) {
         const std::string prom = prometheusName(h.name);
+        if (!claim(prom, h.name))
+            continue;
         out += "# TYPE " + prom + " histogram\n";
         std::uint64_t cumulative = 0;
         for (std::size_t i = 0; i < h.counts.size(); ++i) {
@@ -76,11 +99,7 @@ bool
 writePrometheusFile(const RegistrySnapshot& snapshot,
                     const std::string& path)
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << writePrometheus(snapshot);
-    return static_cast<bool>(out);
+    return writeFileAtomic(path, writePrometheus(snapshot));
 }
 
 }  // namespace mapp::obs

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/file_io.h"
 #include "obs/json_util.h"
 
 namespace mapp::obs {
@@ -258,21 +259,13 @@ Tracer::textTimeline() const
 bool
 Tracer::writeChromeTrace(const std::string& path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << chromeTraceJson();
-    return static_cast<bool>(out);
+    return writeFileAtomic(path, chromeTraceJson());
 }
 
 bool
 Tracer::writeTextTimeline(const std::string& path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << textTimeline();
-    return static_cast<bool>(out);
+    return writeFileAtomic(path, textTimeline());
 }
 
 Tracer&

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Crash-safe sidecar writes: writeFileAtomic must either leave the old
+ * file untouched or atomically replace it with the complete new
+ * contents — never a truncated half-document, never stray temp files.
+ * The concurrency section runs under `ctest -L parallel` (TSan) and
+ * the fault-injection section under `ctest -L robustness` (ASan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/file_io.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace mapp;
+
+class FileIoTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::temp_directory_path() /
+               ("mapp_file_io_" +
+                std::to_string(::getpid()) + "_" +
+                ::testing::UnitTest::GetInstance()
+                    ->current_test_info()
+                    ->name());
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override { fs::remove_all(dir_); }
+
+    std::string path(const std::string& name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    static std::string slurp(const std::string& p)
+    {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream out;
+        out << in.rdbuf();
+        return out.str();
+    }
+
+    /** Files in the test dir whose name contains ".tmp.". */
+    std::size_t tempLeftovers() const
+    {
+        std::size_t n = 0;
+        for (const auto& entry : fs::directory_iterator(dir_))
+            if (entry.path().filename().string().find(".tmp.") !=
+                std::string::npos)
+                ++n;
+        return n;
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(FileIoTest, WritesAndReplacesWholeContents)
+{
+    const auto target = path("doc.json");
+    ASSERT_TRUE(writeFileAtomic(target, "first version"));
+    EXPECT_EQ(slurp(target), "first version");
+    ASSERT_TRUE(writeFileAtomic(target, "v2"));
+    EXPECT_EQ(slurp(target), "v2");  // shorter: no stale tail bytes
+    EXPECT_EQ(tempLeftovers(), 0u);
+}
+
+TEST_F(FileIoTest, EmptyContentsAndBinaryBytesSurvive)
+{
+    const auto target = path("blob.bin");
+    std::string payload = "a\0b\r\n\xff";
+    payload.resize(6);
+    ASSERT_TRUE(writeFileAtomic(target, payload));
+    EXPECT_EQ(slurp(target), payload);
+    ASSERT_TRUE(writeFileAtomic(target, ""));
+    EXPECT_EQ(slurp(target), "");
+}
+
+TEST_F(FileIoTest, EmptyPathFails)
+{
+    EXPECT_FALSE(writeFileAtomic("", "anything"));
+}
+
+// Fault injection: a regular file used as a directory component makes
+// the temp file impossible to create (works even as root, unlike
+// permission bits). The write must fail cleanly: false, no temp
+// litter, and an existing destination untouched.
+TEST_F(FileIoTest, UnwritableDirectoryFailsWithoutLitter)
+{
+    const auto blocker = path("blocker");
+    ASSERT_TRUE(writeFileAtomic(blocker, "i am a file"));
+    const auto target = blocker + "/nested/out.json";
+    EXPECT_FALSE(writeFileAtomic(target, "payload"));
+    EXPECT_EQ(slurp(blocker), "i am a file");
+    EXPECT_EQ(tempLeftovers(), 0u);
+}
+
+TEST_F(FileIoTest, FailedWriteLeavesPreviousContents)
+{
+    // Destination whose parent then becomes invalid: write once into
+    // dir_, then aim a second write through a file component.
+    const auto target = path("keep.json");
+    ASSERT_TRUE(writeFileAtomic(target, "precious"));
+    EXPECT_FALSE(writeFileAtomic(target + "/impossible", "x"));
+    EXPECT_EQ(slurp(target), "precious");
+}
+
+// Atomicity under contention: many writers replace one path with
+// distinct complete payloads while readers poll it. Every read must
+// observe exactly one writer's full payload — a torn or interleaved
+// document means the temp+rename contract broke.
+TEST_F(FileIoTest, ConcurrentWritersNeverTearThePayload)
+{
+    const auto target = path("contended.json");
+    constexpr int kWriters = 4;
+    constexpr int kRounds = 25;
+    const auto payloadOf = [](int writer) {
+        // Distinct length & content per writer, long enough that a
+        // torn write would be visible.
+        return std::string(256 + writer, static_cast<char>('A' + writer));
+    };
+    ASSERT_TRUE(writeFileAtomic(target, payloadOf(0)));
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> torn{0};
+    std::thread reader([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            const std::string seen = slurp(target);
+            bool whole = false;
+            for (int w = 0; w < kWriters; ++w)
+                whole = whole || seen == payloadOf(w);
+            if (!whole)
+                torn.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w)
+        writers.emplace_back([&, w] {
+            for (int r = 0; r < kRounds; ++r)
+                EXPECT_TRUE(writeFileAtomic(target, payloadOf(w)));
+        });
+    for (auto& t : writers)
+        t.join();
+    stop.store(true, std::memory_order_relaxed);
+    reader.join();
+
+    EXPECT_EQ(torn.load(), 0);
+    EXPECT_EQ(tempLeftovers(), 0u);
+    const std::string last = slurp(target);
+    bool whole = false;
+    for (int w = 0; w < kWriters; ++w)
+        whole = whole || last == payloadOf(w);
+    EXPECT_TRUE(whole);
+}
+
+}  // namespace

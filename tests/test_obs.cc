@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -16,6 +17,8 @@
 #include <vector>
 
 #include "common/log.h"
+#include "common/parallel.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
@@ -675,6 +678,50 @@ TEST(Log, DebugTierOrdering)
     EXPECT_NO_THROW(debug("printed at debug"));
     EXPECT_NO_THROW(verbose("also printed at debug"));
     setLogLevel(before);
+}
+
+// ---------------------------------------------------------------------------
+// Static-destruction ordering: the global thread pool's destructor
+// joins workers whose tasks (and queued leftovers) touch the obs
+// singletons, so globalPool() pins registry/tracer/prediction-log
+// construction before the pool's. The assertions that matter run at
+// process exit under ASan/TSan — a regression shows up as a
+// use-after-free when this binary tears down, not as an EXPECT here.
+
+TEST(ShutdownOrder, PoolTasksMayConstructObsSingletons)
+{
+    obs::predictionLog().setEnabled(true);
+    std::atomic<int> touched{0};
+    parallel::parallelFor(64, [&touched](std::size_t i) {
+        obs::defaultRegistry()
+            .counter("test.shutdown_order.tasks")
+            .add(1);
+        obs::tracer().instantEvent(
+            "shutdown-order-" + std::to_string(i), "test", 0.0, 0, 0);
+        obs::predictionLog();
+        touched.fetch_add(1, std::memory_order_relaxed);
+    });
+    obs::predictionLog().setEnabled(false);
+    EXPECT_EQ(touched.load(), 64);
+    const auto snap = obs::defaultRegistry().snapshot();
+    const auto* count =
+        snap.findCounter("test.shutdown_order.tasks");
+    ASSERT_NE(count, nullptr);
+    EXPECT_GE(*count, 64u);
+}
+
+TEST(ShutdownOrder, LateParallelForRunsSerialOncePoolRetired)
+{
+    // Normal operation: the retired flag is still false, so this runs
+    // through the pool. The serial fallback itself is exercised at
+    // exit by any atexit-registered parallelFor; here we just assert
+    // the live path completes every index exactly once.
+    std::vector<std::atomic<int>> hits(17);
+    parallel::parallelFor(hits.size(), [&hits](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (auto& h : hits)
+        EXPECT_EQ(h.load(), 1);
 }
 
 TEST(Log, ConcurrentWritersDoNotCrash)

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -111,6 +113,91 @@ TEST(Prometheus, NonFiniteGaugesUseExpositionLiterals)
     const std::string text = obs::writePrometheus(reg.snapshot());
     EXPECT_NE(text.find("mapp_bad NaN"), std::string::npos);
     EXPECT_NE(text.find("mapp_up +Inf"), std::string::npos);
+}
+
+// The whole exposition, byte for byte. Any accidental format drift
+// (ordering, spacing, TYPE lines, bucket math) breaks scrapers even
+// when each piece still "looks right", so the document is pinned.
+TEST(Prometheus, PinnedExposition)
+{
+    obs::Registry reg;
+    reg.counter("runs").add(2);
+    reg.gauge("queue.depth").set(1.5);
+    auto& h = reg.histogram("wait", {1.0, 2.0});
+    h.observe(0.5);
+    h.observe(3.0);
+
+    EXPECT_EQ(obs::writePrometheus(reg.snapshot()),
+              "# TYPE mapp_runs counter\n"
+              "mapp_runs 2\n"
+              "# TYPE mapp_queue_depth gauge\n"
+              "mapp_queue_depth 1.5\n"
+              "# TYPE mapp_wait histogram\n"
+              "mapp_wait_bucket{le=\"1\"} 1\n"
+              "mapp_wait_bucket{le=\"2\"} 1\n"
+              "mapp_wait_bucket{le=\"+Inf\"} 2\n"
+              "mapp_wait_sum 3.5\n"
+              "mapp_wait_count 2\n");
+}
+
+// Registry names sanitize many-to-one ("a.b" and "a-b" both become
+// mapp_a_b); a duplicate metric name or second TYPE line invalidates
+// the whole 0.0.4 exposition, so later collisions must be dropped
+// (first wins) and surfaced as comments.
+TEST(Prometheus, SanitizedNameCollisionsEmitOnce)
+{
+    obs::Registry reg;
+    reg.counter("a.b").add(1);
+    reg.counter("a-b").add(2);
+    reg.gauge("a/b").set(9.0);  // collides across instrument kinds too
+
+    const std::string text = obs::writePrometheus(reg.snapshot());
+    std::size_t types = 0;
+    for (std::size_t at = text.find("# TYPE mapp_a_b ");
+         at != std::string::npos;
+         at = text.find("# TYPE mapp_a_b ", at + 1))
+        ++types;
+    EXPECT_EQ(types, 1u);
+    // Counters snapshot in sorted order, so "a-b" claims mapp_a_b.
+    EXPECT_NE(text.find("mapp_a_b 2\n"), std::string::npos);
+    EXPECT_EQ(text.find("mapp_a_b 1\n"), std::string::npos);
+    EXPECT_EQ(text.find("mapp_a_b 9\n"), std::string::npos);
+    EXPECT_NE(text.find("# mapp: skipped 'a.b'"), std::string::npos);
+    EXPECT_NE(text.find("# mapp: skipped 'a/b'"), std::string::npos);
+}
+
+// Audit: every metric name the exposition emits — even from hostile
+// registry names — matches the Prometheus 0.0.4 charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+TEST(Prometheus, EmittedNamesMatchExpositionCharset)
+{
+    obs::Registry reg;
+    reg.counter("9starts.with digit").add(1);
+    reg.gauge("weird-\xc3\xa9name!{}").set(2.0);
+    reg.histogram("spaces and\ttabs", {1.0}).observe(0.5);
+
+    const std::string text = obs::writePrometheus(reg.snapshot());
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t audited = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::string name =
+            line.substr(0, line.find_first_of(" {"));
+        ASSERT_FALSE(name.empty()) << line;
+        const auto head = static_cast<unsigned char>(name[0]);
+        EXPECT_TRUE(std::isalpha(head) || name[0] == '_' ||
+                    name[0] == ':')
+            << line;
+        for (const char c : name)
+            EXPECT_TRUE(
+                std::isalnum(static_cast<unsigned char>(c)) ||
+                c == '_' || c == ':')
+                << line;
+        ++audited;
+    }
+    EXPECT_GE(audited, 6u);  // 1 counter + 1 gauge + 4 histogram lines
 }
 
 // ---------------------------------------------------------------------------

@@ -9,15 +9,20 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <typeinfo>
 #include <vector>
 
 #include "common/csv.h"
 #include "common/error.h"
+#include "common/shutdown.h"
 #include "isa/trace_io.h"
 #include "ml/dataset_io.h"
 
@@ -351,6 +356,42 @@ TEST_F(RobustnessFiles, RoundTripsSurviveTheHardening)
     const auto dataBack = ml::readDatasetFile(dataPath);
     ASSERT_EQ(dataBack.size(), 1u);
     EXPECT_DOUBLE_EQ(dataBack.row(0)[0], 0.125);
+}
+
+// ---------------------------------------------------------------------------
+// Graceful-shutdown plumbing. One real SIGINT travels the whole path:
+// sigaction handler -> self-pipe -> watcher thread -> callback. Only
+// one signal may be raised in this process — the handler hard-exits on
+// the second delivery by design.
+
+TEST(Shutdown, RealSignalReachesTheInstalledCallback)
+{
+    std::atomic<int> fired{0};
+    std::atomic<int> delivered{0};
+    installShutdownHandler([&fired, &delivered](int signo) {
+        delivered.store(signo);
+        fired.fetch_add(1);
+    });
+    ASSERT_FALSE(shutdownRequested());
+
+    ASSERT_EQ(::raise(SIGINT), 0);
+    for (int i = 0; i < 500 && fired.load() == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_EQ(delivered.load(), SIGINT);
+    EXPECT_TRUE(shutdownRequested());
+    EXPECT_EQ(shutdownSignal(), SIGINT);
+
+    // A later synthetic request must not double-deliver: the first
+    // delivery already claimed the process's shutdown.
+    requestShutdown(SIGTERM);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_EQ(shutdownSignal(), SIGINT);
+
+    // Drop the dangling captures before the locals die.
+    installShutdownHandler([](int) {});
 }
 
 }  // namespace
