@@ -1,0 +1,325 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "common/log.h"
+#include "obs/metrics.h"
+
+namespace mapp::simd {
+
+namespace {
+
+/** Publish the resolved table to the metrics registry: the active
+ *  tier, and which tier's walk kernel the table actually carries
+ *  (0 = scalar walk — either the scalar/sse2 tier or a calibrated
+ *  auto table that measured the vector walk slower). */
+void
+publishGauges(const Kernels* table)
+{
+    obs::defaultRegistry()
+        .gauge("simd.active_tier")
+        .set(static_cast<double>(static_cast<int>(table->tier)));
+    const bool scalarWalk =
+        table->walk == detail::scalarKernels()->walk;
+    obs::defaultRegistry()
+        .gauge("simd.walk_tier")
+        .set(scalarWalk
+                 ? 0.0
+                 : static_cast<double>(
+                       static_cast<int>(table->tier)));
+}
+
+/** The table for @p tier, or nullptr when this build/CPU lacks it. */
+const Kernels*
+tableFor(Tier tier)
+{
+    switch (tier) {
+      case Tier::Scalar:
+        return detail::scalarKernels();
+      case Tier::Sse2:
+        return detail::sse2Kernels();
+      case Tier::Avx2:
+        return detail::avx2Kernels();
+    }
+    return nullptr;
+}
+
+/**
+ * Clamp @p tier to the widest supported tier at or below it. The
+ * scalar table always exists, so this never returns nullptr.
+ */
+const Kernels*
+clampedTableFor(Tier tier)
+{
+    for (int t = static_cast<int>(tier); t > 0; --t) {
+        if (const Kernels* k = tableFor(static_cast<Tier>(t)))
+            return k;
+    }
+    return detail::scalarKernels();
+}
+
+/**
+ * Time @p walk over a synthetic perfect tree (depth 9, 1023 nodes,
+ * 16 features, 96 rows — three full 32-row blocks), minimum of a few
+ * repetitions. Deterministic inputs from a fixed LCG; the result only
+ * steers a performance choice (every walk is bit-identical), so
+ * timing noise can never change predictions.
+ */
+double
+timeWalk(void (*walk)(const TreeNodes&, std::int32_t, int,
+                      const double*, std::size_t, std::size_t, double*,
+                      bool),
+         const TreeNodes& nodes, const std::vector<double>& rows,
+         std::size_t n_features, std::size_t n_rows, int steps)
+{
+    std::vector<double> out(n_rows);
+    using clock = std::chrono::steady_clock;
+    double best = 1e300;
+    for (int rep = 0; rep < 6; ++rep) {
+        const auto t0 = clock::now();
+        walk(nodes, 0, steps, rows.data(), n_features, n_rows,
+             out.data(), rep % 2 == 1);
+        const auto t1 = clock::now();
+        const double s =
+            std::chrono::duration<double>(t1 - t0).count();
+        if (rep > 0 && s < best)  // rep 0 is cache warmup
+            best = s;
+    }
+    return best;
+}
+
+/**
+ * Decide the walk kernel for an `auto` resolution: if @p base carries
+ * a vector walk, race it against the scalar walk on a synthetic tree
+ * and return a copy of the table with the scalar walk swapped in
+ * unless the vector walk is measurably (>5%) faster. Runs once per
+ * process (~100us); see the calibration note in simd.h for why ISA
+ * width alone cannot settle this (gather-based walks lose on
+ * microarchitectures whose gathers decode into per-lane load uops).
+ */
+const Kernels*
+calibrateWalk(const Kernels* base)
+{
+    const Kernels* scalar = detail::scalarKernels();
+    if (base->walk == scalar->walk)
+        return base;
+    static const bool vectorWins = [base, scalar] {
+        constexpr int kDepth = 9;
+        constexpr std::size_t kNodes = (1u << (kDepth + 1)) - 1;
+        constexpr std::size_t kFeatures = 16;
+        constexpr std::size_t kRows = 96;
+        std::uint64_t lcg = 0x9e3779b97f4a7c15ull;
+        const auto urand = [&lcg] {
+            lcg = lcg * 6364136223846793005ull +
+                  1442695040888963407ull;
+            return static_cast<double>(lcg >> 11) /
+                   9007199254740992.0;
+        };
+        std::vector<std::int32_t> feature(kNodes);
+        std::vector<double> threshold(kNodes);
+        std::vector<std::int32_t> kids(2 * kNodes);
+        std::vector<PackedNode> packed;
+        packed.reserve(kNodes);
+        const std::size_t firstLeaf = (1u << kDepth) - 1;
+        for (std::size_t n = 0; n < kNodes; ++n) {
+            const bool leaf = n >= firstLeaf;
+            const auto self = static_cast<std::int32_t>(n);
+            feature[n] = static_cast<std::int32_t>(
+                static_cast<std::size_t>(urand() * kFeatures) %
+                kFeatures);
+            threshold[n] = urand();
+            kids[2 * n] = leaf ? self : 2 * self + 1;
+            kids[2 * n + 1] = leaf ? self : 2 * self + 2;
+            packed.push_back(PackedNode::pack(
+                threshold[n],
+                static_cast<std::uint32_t>(feature[n]),
+                static_cast<std::uint32_t>(kids[2 * n]),
+                static_cast<std::uint32_t>(kids[2 * n + 1])));
+        }
+        std::vector<double> rows(kRows * kFeatures);
+        for (double& v : rows)
+            v = urand();
+        const TreeNodes nodes{feature.data(), threshold.data(),
+                              kids.data(), packed.data()};
+        const double tv = timeWalk(base->walk, nodes, rows,
+                                   kFeatures, kRows, kDepth + 1);
+        const double ts = timeWalk(scalar->walk, nodes, rows,
+                                   kFeatures, kRows, kDepth + 1);
+        return tv < ts * 0.95;
+    }();
+    if (vectorWins)
+        return base;
+    static const Kernels hybrid = [base, scalar] {
+        Kernels h = *base;
+        h.walk = scalar->walk;
+        return h;
+    }();
+    return &hybrid;
+}
+
+/**
+ * Initial tier choice: MAPP_SIMD when set (unknown values warn and
+ * fall back to auto; unsupported tiers warn and clamp — honoring them
+ * would SIGILL), otherwise the cpuid probe. Auto resolutions (unset,
+ * "auto", or unknown values) also calibrate the walk kernel; an
+ * explicit tier gets exactly that tier's table.
+ */
+const Kernels*
+resolveInitial()
+{
+    Tier want = detectBestTier();
+    bool isAuto = true;
+    const char* env = std::getenv("MAPP_SIMD");
+    if (env != nullptr && env[0] != '\0') {
+        const std::string name(env);
+        if (name == "scalar") {
+            want = Tier::Scalar;
+            isAuto = false;
+        } else if (name == "sse2") {
+            want = Tier::Sse2;
+            isAuto = false;
+        } else if (name == "avx2") {
+            want = Tier::Avx2;
+            isAuto = false;
+        } else if (name != "auto") {
+            warn("MAPP_SIMD: unknown tier '" + name +
+                 "' (expected auto, avx2, sse2 or scalar); using "
+                 "auto");
+        }
+    }
+    const Kernels* table = clampedTableFor(want);
+    if (table->tier != want)
+        warn(std::string("MAPP_SIMD: tier '") + tierName(want) +
+             "' is not supported on this CPU; using '" +
+             std::string(table->name) + "'");
+    return isAuto ? calibrateWalk(table) : table;
+}
+
+/** The published table. Null until the first kernels() call. */
+std::atomic<const Kernels*> gActive{nullptr};
+std::once_flag gResolveOnce;
+
+}  // namespace
+
+const char*
+tierName(Tier tier)
+{
+    switch (tier) {
+      case Tier::Scalar:
+        return "scalar";
+      case Tier::Sse2:
+        return "sse2";
+      case Tier::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+Tier
+detectBestTier()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    // __builtin_cpu_supports probes cpuid once and caches; AVX2 implies
+    // the OS saved YMM state (the builtin checks OSXSAVE too on GCC 12).
+    static const Tier best = [] {
+        if (__builtin_cpu_supports("avx2") &&
+            detail::avx2Kernels() != nullptr)
+            return Tier::Avx2;
+        if (__builtin_cpu_supports("sse2") &&
+            detail::sse2Kernels() != nullptr)
+            return Tier::Sse2;
+        return Tier::Scalar;
+    }();
+    return best;
+#else
+    return Tier::Scalar;
+#endif
+}
+
+std::vector<Tier>
+availableTiers()
+{
+    std::vector<Tier> tiers{Tier::Scalar};
+    for (Tier t : {Tier::Sse2, Tier::Avx2}) {
+        if (t <= detectBestTier() && tableFor(t) != nullptr)
+            tiers.push_back(t);
+    }
+    return tiers;
+}
+
+const Kernels&
+kernels()
+{
+    const Kernels* table = gActive.load(std::memory_order_acquire);
+    if (table == nullptr) {
+        std::call_once(gResolveOnce, [] {
+            const Kernels* resolved = resolveInitial();
+            publishGauges(resolved);
+            gActive.store(resolved, std::memory_order_release);
+        });
+        table = gActive.load(std::memory_order_acquire);
+    }
+    return *table;
+}
+
+Tier
+activeTier()
+{
+    return kernels().tier;
+}
+
+void
+setTier(Tier tier)
+{
+    kernels();  // make sure first-use resolution cannot overwrite us
+    const Kernels* table = clampedTableFor(tier);
+    if (table->tier != tier)
+        warn(std::string("simd: tier '") + tierName(tier) +
+             "' is not supported on this CPU; using '" +
+             std::string(table->name) + "'");
+    publishGauges(table);
+    gActive.store(table, std::memory_order_release);
+}
+
+bool
+setTierFromName(const std::string& name)
+{
+    if (name == "auto") {
+        // Auto means "fastest bit-identical kernels on this machine",
+        // which includes the calibrated walk choice — not merely the
+        // widest tier's raw table.
+        kernels();  // first-use resolution must not overwrite us
+        const Kernels* table =
+            calibrateWalk(clampedTableFor(detectBestTier()));
+        publishGauges(table);
+        gActive.store(table, std::memory_order_release);
+        return true;
+    }
+    if (name == "scalar") {
+        setTier(Tier::Scalar);
+        return true;
+    }
+    if (name == "sse2") {
+        setTier(Tier::Sse2);
+        return true;
+    }
+    if (name == "avx2") {
+        setTier(Tier::Avx2);
+        return true;
+    }
+    return false;
+}
+
+const Kernels*
+kernelsFor(Tier tier)
+{
+    if (tier > detectBestTier())
+        return nullptr;
+    return tableFor(tier);
+}
+
+}  // namespace mapp::simd

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * The runtime-dispatched SIMD kernel layer for the inference hot path.
+ *
+ * The serving stack funnels every prediction through three loop
+ * families: the compiled lock-step tree traversal
+ * (`ml/compiled_tree.cc`), the batch in-place range normalizer
+ * (`predictor/features.cc`), and the error-reduction kernels behind
+ * quality monitoring (`ml/metrics.cc`, `common/stats.cc`). Each family
+ * has one kernel per CPU tier (scalar, SSE2, AVX2), compiled in its
+ * own translation unit with explicit `-msse2` / `-mavx2` flags, and the
+ * process resolves ONE function-pointer table at startup from a cpuid
+ * probe — so a single portable binary runs the widest vectors the
+ * machine actually has, replacing the old non-portable per-file
+ * `-march=native` build.
+ *
+ * Tier selection:
+ *  1. `mapp_cli --simd={auto,avx2,sse2,scalar}` (maps to setTier()),
+ *  2. the `MAPP_SIMD` environment variable (same values; an unknown
+ *     value warns and falls back to auto, an unsupported tier warns
+ *     and clamps to the best the CPU has),
+ *  3. `auto`: the widest tier the CPU reports (AVX2 > SSE2 > scalar).
+ * The resolved tier is exported as the `simd.active_tier` gauge
+ * (0 = scalar, 1 = sse2, 2 = avx2) in the default metrics registry.
+ *
+ * WALK CALIBRATION. The tree walk is the one kernel where "widest
+ * vectors" is not automatically fastest: the AVX2 walk is built on
+ * vpgather, and on several common microarchitectures (Skylake-class
+ * servers included) a gather decodes into the SAME per-lane load uops
+ * a scalar walk issues, plus index-arithmetic overhead — so it loses
+ * to the unrolled scalar walk, which already saturates both load
+ * ports. Because every tier is bit-identical, the walk choice is
+ * purely a performance decision, so `auto` settles it empirically: at
+ * resolution time the dispatcher times the tier's vector walk against
+ * the scalar walk on a small synthetic tree (~100 microseconds, once
+ * per process) and keeps whichever is faster. An EXPLICIT tier
+ * request (env, --simd=, setTier()) skips calibration and gets
+ * exactly that tier's kernels — the escape hatch for benchmarks and
+ * tests. The chosen walk is exported as the `simd.walk_tier` gauge
+ * (0 = scalar walk, else the tier whose vector walk won).
+ *
+ * BIT-IDENTITY CONTRACT. Every tier produces bit-identical results to
+ * the scalar kernels, pinned by tests/test_simd.cc:
+ *  - the tree walk only ever compares `x <= threshold` on the same
+ *    doubles (comparisons are exact; no arithmetic is performed);
+ *  - the normalizer divides each element by a per-feature divisor
+ *    (`scale` for time features, exactly `1.0` otherwise — and IEEE
+ *    division by 1.0 is the identity), one rounding per element in
+ *    every tier;
+ *  - the reductions vectorize only the ELEMENTWISE part (sub, mul,
+ *    abs, div — each exact or one-rounding-per-element in all tiers)
+ *    and then fold the lanes into the accumulator IN ELEMENT ORDER
+ *    with scalar adds, preserving the scalar summation sequence.
+ *    (This caps the reduction speedup — the dependent add chain stays
+ *    serial by contract — but the divisions and multiplies leave the
+ *    critical path.)
+ */
+
+#ifndef MAPP_COMMON_SIMD_H
+#define MAPP_COMMON_SIMD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mapp::simd {
+
+/** CPU capability tiers, widest last. Values are the gauge encoding. */
+enum class Tier : int
+{
+    Scalar = 0,
+    Sse2 = 1,
+    Avx2 = 2,
+};
+
+/**
+ * Rows a lock-step walk block holds in flight. The chunk drivers in
+ * ml/compiled_tree.cc never pass walk() more than this many rows.
+ */
+constexpr std::size_t kWalkBlockRows = 32;
+
+/**
+ * Steps the fixed-step walk runs between "is every row at a leaf?"
+ * probes. Most rows exit well before the tree's depth bound; probing
+ * every few steps recovers that slack for the price of one
+ * well-predicted branch per probe. Every tier honors the same cadence
+ * (the probe can only ever skip no-op steps, so it never changes
+ * results).
+ */
+constexpr int kWalkStepsPerProbe = 3;
+
+/**
+ * One flattened tree node, packed into 16 bytes for the GATHER-based
+ * walk kernels: the split threshold (or, at a leaf, the LEAF VALUE —
+ * the self-loop sentinel encoding of ml/compiled_tree.h) plus one
+ * 64-bit word holding `feature << 50 | right << 25 | left`.
+ *
+ * The packing exists for the vector walk's gather budget: with the
+ * structure-of-arrays layout (feature[], threshold[], interleaved
+ * kids[]) a vectorized level costs FOUR gathers per row group
+ * (feature id, feature value, threshold, taken child); with the
+ * packed record it costs THREE — threshold and the feature/children
+ * word live in one 16-byte slot, and the child select becomes a
+ * shift/mask of the gathered word instead of a fourth gather.
+ *
+ * The SCALAR walk deliberately does NOT use this layout. Measured on
+ * the real fitted forests this project serves (shallow, imbalanced
+ * trees whose rows exit early), the SoA walk's indexed child load
+ * `kids[2n + go]` — one cheap load-port uop — beats the packed
+ * record's variable-shift select `word >> (25*go)`, which adds a
+ * multiply and a 3-uop variable shift to every level's dependency
+ * chain (~1.5x slower end to end). The packed walk only wins when
+ * every row walks a perfect tree to full depth — a workload the
+ * serving path never produces. Both layouts therefore coexist in
+ * TreeNodes and each kernel reads the one it is fastest on; see
+ * EXPERIMENTS.md for the measurements.
+ *
+ * Capacity: 25-bit child indices (kMaxNodes = 2^25 ≈ 33.5M nodes per
+ * compiled tree/forest) and 14-bit feature ids (kMaxFeatures =
+ * 16384). ml/compiled_tree.cc validates both at compile time and
+ * fails fast — the limits are ~1000x beyond anything this project's
+ * forests reach, but exceeding them must be an error, never silent
+ * index truncation.
+ */
+struct PackedNode
+{
+    static constexpr int kChildBits = 25;
+    static constexpr int kFeatureShift = 2 * kChildBits;
+    static constexpr std::uint64_t kChildMask =
+        (std::uint64_t{1} << kChildBits) - 1;
+    static constexpr std::size_t kMaxNodes = std::size_t{1}
+                                             << kChildBits;
+    static constexpr std::size_t kMaxFeatures =
+        std::size_t{1} << (64 - kFeatureShift);
+
+    double threshold;    ///< split threshold, or leaf value at a leaf
+    std::uint64_t word;  ///< feature << 50 | right << 25 | left
+
+    static PackedNode pack(double threshold, std::uint32_t feature,
+                           std::uint32_t left, std::uint32_t right)
+    {
+        return PackedNode{
+            threshold,
+            (static_cast<std::uint64_t>(feature) << kFeatureShift) |
+                (static_cast<std::uint64_t>(right) << kChildBits) |
+                static_cast<std::uint64_t>(left)};
+    }
+
+    std::uint32_t feature() const
+    {
+        return static_cast<std::uint32_t>(word >> kFeatureShift);
+    }
+    std::uint32_t left() const
+    {
+        return static_cast<std::uint32_t>(word & kChildMask);
+    }
+    std::uint32_t right() const
+    {
+        return static_cast<std::uint32_t>((word >> kChildBits) &
+                                          kChildMask);
+    }
+};
+
+static_assert(sizeof(PackedNode) == 16,
+              "walk kernels index node records at 16-byte stride");
+
+/**
+ * The walk kernels' view of one compiled tree/forest's node storage:
+ * the SAME nodes in two layouts, because the fastest layout differs
+ * by kernel (see PackedNode). The scalar walk reads the SoA arrays;
+ * gather-based vector walks read the packed records. A leaf self-loops
+ * in both layouts (kids[2i] == kids[2i+1] == i) and stores its value
+ * in the threshold slot. ml/compiled_tree.cc keeps both populated.
+ */
+struct TreeNodes
+{
+    const std::int32_t* feature;  ///< split feature id per node
+    const double* threshold;      ///< split threshold / leaf value
+    const std::int32_t* kids;     ///< interleaved [left,right] pairs
+    const PackedNode* packed;     ///< same nodes as 16-byte records
+};
+
+/**
+ * One tier's kernel table. All pointers are non-null in every table
+ * (a tier reuses the scalar kernel where vectorization cannot help,
+ * e.g. the SSE2 tree walk — two-lane gathers cost more than they
+ * save).
+ */
+struct Kernels
+{
+    Tier tier;
+    const char* name;  ///< "scalar" / "sse2" / "avx2"
+
+    /**
+     * Advance @p row_count (1..kWalkBlockRows) rows through one
+     * flattened tree for a fixed @p steps comparisons and write (or,
+     * with @p accumulate, add) each row's final leaf value to
+     * @p out[i]. The node encoding is ml/compiled_tree.h's: a leaf
+     * stores its value in the threshold slot and self-loops (left ==
+     * right == node), so the walk needs no per-step termination
+     * branch and the final threshold load IS the prediction; the
+     * split decision is a SETcc-fed child select (an indexed load in
+     * the scalar walk, a word blend in the vector walks), never a
+     * data-dependent branch. NaN features route right in every tier
+     * (NaN fails `<=`).
+     */
+    void (*walk)(const TreeNodes& nodes, std::int32_t root, int steps,
+                 const double* rows, std::size_t n_features,
+                 std::size_t row_count, double* out, bool accumulate);
+
+    /**
+     * Elementwise in-place divide of a row-major batch by a repeating
+     * per-feature divisor vector: row_major[r*n_features + f] /=
+     * divisors[f] for every row r. The normalizer passes `scale` for
+     * time features and exactly 1.0 for the rest; division by 1.0 is
+     * the IEEE identity, so this equals the old masked divide bit for
+     * bit while staying branch-free and vectorizable.
+     */
+    void (*normalizeRows)(double* row_major, std::size_t n_rows,
+                          const double* divisors,
+                          std::size_t n_features);
+
+    /** values[i] *= factor (denormalization back to seconds). */
+    void (*scaleValues)(double* values, std::size_t n, double factor);
+
+    /** Sum of (a[i]-b[i])^2, accumulated in element order. */
+    double (*sumSquaredDiff)(const double* a, const double* b,
+                             std::size_t n);
+
+    /** Sum of (x[i]-center)^2, accumulated in element order. */
+    double (*sumSquaredDev)(const double* x, std::size_t n,
+                            double center);
+
+    /**
+     * Sum of |t[i]-p[i]| / max(|t[i]|, 1e-300) * 100, accumulated in
+     * element order — the mean-relative-error-percent numerator.
+     * Inputs must be finite (callers validate first).
+     */
+    double (*sumAbsRelErrPct)(const double* truth, const double* pred,
+                              std::size_t n);
+};
+
+/** Display name for a tier ("scalar", "sse2", "avx2"). */
+const char* tierName(Tier tier);
+
+/** The widest tier this CPU supports (cpuid probe, cached). */
+Tier detectBestTier();
+
+/** Supported tiers, narrowest first (always starts with Scalar). */
+std::vector<Tier> availableTiers();
+
+/** The currently resolved tier (resolving on first use). */
+Tier activeTier();
+
+/**
+ * Force the active tier — EXACTLY that tier's kernel table, walk
+ * calibration skipped (the benchmark/test escape hatch). Unsupported
+ * tiers warn and clamp to the best available (honoring an AVX2
+ * request on a non-AVX2 CPU would be an illegal-instruction crash).
+ * Updates the `simd.active_tier` and `simd.walk_tier` gauges.
+ * Thread-safe; in-flight batches finish on the table they started
+ * with (all tables agree bit for bit, so results cannot change).
+ */
+void setTier(Tier tier);
+
+/**
+ * Parse a tier name ("auto", "avx2", "sse2", "scalar") and set it;
+ * "auto" re-resolves from the CPU probe (ignoring MAPP_SIMD) and
+ * applies walk calibration, explicit names behave like setTier().
+ * @return false (with no state change) for an unknown name.
+ */
+bool setTierFromName(const std::string& name);
+
+/**
+ * The active kernel table. First use resolves the tier from MAPP_SIMD
+ * (or the cpuid probe) and publishes the `simd.active_tier` gauge;
+ * after that it is one atomic load. Hot loops should call this once
+ * per batch/chunk, not per block.
+ */
+const Kernels& kernels();
+
+/** A specific tier's table (for tests and the bench tier sweep).
+ *  @return nullptr when the tier is not supported on this CPU. */
+const Kernels* kernelsFor(Tier tier);
+
+namespace detail {
+
+/** The scalar lock-step walk (shared tail/fallback for all tiers). */
+void walkScalar(const TreeNodes& nodes, std::int32_t root, int steps,
+                const double* rows, std::size_t n_features,
+                std::size_t row_count, double* out, bool accumulate);
+
+/** Per-tier tables defined in their own TUs (nullptr = not built or
+ *  not supported at compile time for this architecture). */
+const Kernels* scalarKernels();
+const Kernels* sse2Kernels();
+const Kernels* avx2Kernels();
+
+}  // namespace detail
+
+}  // namespace mapp::simd
+
+#endif  // MAPP_COMMON_SIMD_H

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * The AVX2 kernel tier. The centerpiece is the gathered tree walk:
+ * four rows advance per __m256d vector — each row's packed 16-byte
+ * node record (threshold + feature/children word) and its feature
+ * value fetched with i64 gathers, the split decided by a vector
+ * compare + byte blend over the word — and four such groups
+ * interleave into a 16-row strip so the gather latencies of
+ * independent rows overlap, the same ILP trick the scalar cascade
+ * plays with dependent scalar loads. The probe-step early exit and
+ * the leaf self-loop sentinel carry over unchanged.
+ *
+ * The walk reads the PACKED node records of the TreeNodes view (the
+ * scalar walk reads the SoA arrays instead — each kernel gets the
+ * layout it is fastest on, see the PackedNode note in common/simd.h).
+ * Whether this walk beats the scalar one is decided per machine, not
+ * per ISA: on microarchitectures whose gathers decode into per-lane
+ * load uops (Skylake-class servers), three gathers per level lose to
+ * the scalar walk's four plain loads, so `auto` dispatch keeps the
+ * scalar walk there (see the calibration note in common/simd.h). The
+ * vector walk stays reachable via an explicit tier request and stays
+ * bit-identical either way.
+ *
+ * This TU is compiled with `-mavx2 -ffp-contract=off` (x86 only).
+ * `-mavx2` does NOT enable FMA, and contract-off makes that explicit:
+ * a fused multiply-add would merge roundings the scalar tier performs
+ * separately and break the bit-identity contract.
+ *
+ * BIT-IDENTITY: the walk performs no arithmetic — only the exact
+ * compare `x <= t`, taken as `_CMP_NLE_UQ` so a NaN feature routes
+ * right exactly like the scalar `!(x <= t)`. Elementwise kernels
+ * round once per element like scalar, and reductions fold lanes into
+ * the accumulator in element order (pinned by tests/test_simd.cc).
+ */
+
+#include "common/simd.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace mapp::simd {
+
+namespace {
+
+/** Rows one gathered walk strip keeps in flight (4 groups of 4). */
+constexpr std::size_t kStripRows = 16;
+
+/**
+ * One lock-step level for four rows: gather each row's packed node
+ * record (threshold + feature/children word — two gathers over the
+ * same 16-byte slots), gather the feature values, vector-compare, and
+ * blend between the word and the word shifted down 25 bits so the
+ * masked result is the taken child. The child select costs NO extra
+ * gather — both children and the feature id travel inside the one
+ * gathered word, which is why this walk reads the packed records:
+ * three gathers per level instead of the four the SoA arrays would
+ * need.
+ */
+__attribute__((always_inline)) inline __m256i
+advance4(const PackedNode* nodes, const double* rows, __m256i base,
+         __m256i c)
+{
+    // Node records are 16 bytes; with gather scale capped at 8 the
+    // index is 2*c (threshold at slot offset 0, word at offset 8).
+    const __m256i idx2 = _mm256_slli_epi64(c, 1);
+    const __m256d t = _mm256_i64gather_pd(
+        reinterpret_cast<const double*>(nodes), idx2, 8);
+    const __m256i w = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(nodes) + 1, idx2, 8);
+    const __m256i fidx = _mm256_add_epi64(
+        base, _mm256_srli_epi64(w, PackedNode::kFeatureShift));
+    const __m256d x = _mm256_i64gather_pd(rows, fidx, 8);
+    // NLE_UQ: true when !(x <= t), and true for NaN (unordered) —
+    // identical routing to the scalar `!(x <= t)` shift count.
+    const __m256d go = _mm256_cmp_pd(x, t, _CMP_NLE_UQ);
+    // The compare mask is all-ones/all-zeros per 64-bit lane, so the
+    // per-byte blend selects whole 64-bit words.
+    const __m256i cand = _mm256_blendv_epi8(
+        w, _mm256_srli_epi64(w, PackedNode::kChildBits),
+        _mm256_castpd_si256(go));
+    return _mm256_and_si256(
+        cand,
+        _mm256_set1_epi64x(
+            static_cast<long long>(PackedNode::kChildMask)));
+}
+
+/** Row-base element offsets (row*n_features) for rows g..g+3. */
+__attribute__((always_inline)) inline __m256i
+rowBases(std::size_t g, std::size_t n_features)
+{
+    const auto nf = static_cast<long long>(n_features);
+    const auto g0 = static_cast<long long>(g);
+    return _mm256_set_epi64x((g0 + 3) * nf, (g0 + 2) * nf,
+                             (g0 + 1) * nf, g0 * nf);
+}
+
+/** Gather the 4 leaf values and write/accumulate them to @p out. */
+__attribute__((always_inline)) inline void
+emit4(const PackedNode* nodes, __m256i c, double* out,
+      bool accumulate)
+{
+    __m256d v =
+        _mm256_i64gather_pd(reinterpret_cast<const double*>(nodes),
+                            _mm256_slli_epi64(c, 1), 8);
+    if (accumulate)
+        v = _mm256_add_pd(v, _mm256_loadu_pd(out));
+    _mm256_storeu_pd(out, v);
+}
+
+/**
+ * Walk exactly kStripRows rows. Four independent 4-row groups advance
+ * per level so each group's gather chain hides the others' latency;
+ * the probe step folds "did any row move?" into the level itself via
+ * a 64-bit lane equality across all four groups.
+ */
+void
+walkStrip16(const PackedNode* nodes, std::int32_t root, int steps,
+            const double* rows, std::size_t n_features, double* out,
+            bool accumulate)
+{
+    const __m256i b0 = rowBases(0, n_features);
+    const __m256i b1 = rowBases(4, n_features);
+    const __m256i b2 = rowBases(8, n_features);
+    const __m256i b3 = rowBases(12, n_features);
+    __m256i c0 = _mm256_set1_epi64x(root);
+    __m256i c1 = c0;
+    __m256i c2 = c0;
+    __m256i c3 = c0;
+    for (int s = 0; s < steps;) {
+        const int stop =
+            steps < s + kWalkStepsPerProbe - 1
+                ? steps
+                : s + kWalkStepsPerProbe - 1;
+        for (; s < stop; ++s) {
+            c0 = advance4(nodes, rows, b0, c0);
+            c1 = advance4(nodes, rows, b1, c1);
+            c2 = advance4(nodes, rows, b2, c2);
+            c3 = advance4(nodes, rows, b3, c3);
+        }
+        if (s >= steps)
+            break;
+        const __m256i n0 = advance4(nodes, rows, b0, c0);
+        const __m256i n1 = advance4(nodes, rows, b1, c1);
+        const __m256i n2 = advance4(nodes, rows, b2, c2);
+        const __m256i n3 = advance4(nodes, rows, b3, c3);
+        const __m256i same = _mm256_and_si256(
+            _mm256_and_si256(_mm256_cmpeq_epi64(n0, c0),
+                             _mm256_cmpeq_epi64(n1, c1)),
+            _mm256_and_si256(_mm256_cmpeq_epi64(n2, c2),
+                             _mm256_cmpeq_epi64(n3, c3)));
+        c0 = n0;
+        c1 = n1;
+        c2 = n2;
+        c3 = n3;
+        ++s;
+        if (_mm256_movemask_epi8(same) == -1)
+            break;  // every row self-loops on a leaf; rest are no-ops
+    }
+    emit4(nodes, c0, out + 0, accumulate);
+    emit4(nodes, c1, out + 4, accumulate);
+    emit4(nodes, c2, out + 8, accumulate);
+    emit4(nodes, c3, out + 12, accumulate);
+}
+
+void
+walkAvx2(const TreeNodes& nodes, std::int32_t root, int steps,
+         const double* rows, std::size_t n_features,
+         std::size_t row_count, double* out, bool accumulate)
+{
+    const PackedNode* packed = nodes.packed;
+    std::size_t done = 0;
+    while (row_count - done >= kStripRows) {
+        walkStrip16(packed, root, steps, rows + done * n_features,
+                    n_features, out + done, accumulate);
+        done += kStripRows;
+    }
+    // Sub-strip remainder: the scalar cascade already has tuned 8/4
+    // blocks and a rolled tail; a masked-gather path for <16 rows is
+    // not worth its complexity.
+    if (row_count > done)
+        detail::walkScalar(nodes, root, steps,
+                           rows + done * n_features, n_features,
+                           row_count - done, out + done, accumulate);
+}
+
+void
+normalizeRowsAvx2(double* row_major, std::size_t n_rows,
+                  const double* divisors, std::size_t n_features)
+{
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        double* row = row_major + r * n_features;
+        std::size_t f = 0;
+        for (; f + 4 <= n_features; f += 4) {
+            const __m256d x = _mm256_loadu_pd(row + f);
+            const __m256d d = _mm256_loadu_pd(divisors + f);
+            _mm256_storeu_pd(row + f, _mm256_div_pd(x, d));
+        }
+        for (; f < n_features; ++f)
+            row[f] /= divisors[f];
+    }
+}
+
+void
+scaleValuesAvx2(double* values, std::size_t n, double factor)
+{
+    const __m256d vf = _mm256_set1_pd(factor);
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(values + i,
+                         _mm256_mul_pd(_mm256_loadu_pd(values + i),
+                                       vf));
+    for (; i < n; ++i)
+        values[i] *= factor;
+}
+
+double
+sumSquaredDiffAvx2(const double* a, const double* b, std::size_t n)
+{
+    double acc = 0.0;
+    alignas(32) double lanes[4];
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d d = _mm256_sub_pd(_mm256_loadu_pd(a + i),
+                                        _mm256_loadu_pd(b + i));
+        _mm256_store_pd(lanes, _mm256_mul_pd(d, d));
+        // In-element-order lane folds keep the scalar summation
+        // sequence (the bit-identity contract).
+        acc += lanes[0];
+        acc += lanes[1];
+        acc += lanes[2];
+        acc += lanes[3];
+    }
+    for (; i < n; ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+double
+sumSquaredDevAvx2(const double* x, std::size_t n, double center)
+{
+    const __m256d vc = _mm256_set1_pd(center);
+    double acc = 0.0;
+    alignas(32) double lanes[4];
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d d =
+            _mm256_sub_pd(_mm256_loadu_pd(x + i), vc);
+        _mm256_store_pd(lanes, _mm256_mul_pd(d, d));
+        acc += lanes[0];
+        acc += lanes[1];
+        acc += lanes[2];
+        acc += lanes[3];
+    }
+    for (; i < n; ++i) {
+        const double d = x[i] - center;
+        acc += d * d;
+    }
+    return acc;
+}
+
+double
+sumAbsRelErrPctAvx2(const double* truth, const double* pred,
+                    std::size_t n)
+{
+    const __m256d sign = _mm256_set1_pd(-0.0);
+    const __m256d eps = _mm256_set1_pd(1e-300);
+    const __m256d hundred = _mm256_set1_pd(100.0);
+    double acc = 0.0;
+    alignas(32) double lanes[4];
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m256d t = _mm256_loadu_pd(truth + i);
+        const __m256d p = _mm256_loadu_pd(pred + i);
+        const __m256d at = _mm256_andnot_pd(sign, t);
+        // VMAXPD(a, b) = a > b ? a : b — exactly the scalar
+        // `|t| > 1e-300 ? |t| : 1e-300` (finite inputs by contract).
+        const __m256d denom = _mm256_max_pd(at, eps);
+        const __m256d ad =
+            _mm256_andnot_pd(sign, _mm256_sub_pd(t, p));
+        _mm256_store_pd(
+            lanes,
+            _mm256_mul_pd(_mm256_div_pd(ad, denom), hundred));
+        acc += lanes[0];
+        acc += lanes[1];
+        acc += lanes[2];
+        acc += lanes[3];
+    }
+    for (; i < n; ++i) {
+        const double at = truth[i] < 0.0 ? -truth[i] : truth[i];
+        const double denom = at > 1e-300 ? at : 1e-300;
+        const double d = truth[i] - pred[i];
+        acc += (d < 0.0 ? -d : d) / denom * 100.0;
+    }
+    return acc;
+}
+
+const Kernels kAvx2Table{
+    Tier::Avx2,          "avx2",
+    &walkAvx2,           &normalizeRowsAvx2,
+    &scaleValuesAvx2,    &sumSquaredDiffAvx2,
+    &sumSquaredDevAvx2,  &sumAbsRelErrPctAvx2,
+};
+
+}  // namespace
+
+namespace detail {
+
+const Kernels*
+avx2Kernels()
+{
+    return &kAvx2Table;
+}
+
+}  // namespace detail
+
+}  // namespace mapp::simd
+
+#else  // !__AVX2__: tier not built for this architecture
+
+namespace mapp::simd::detail {
+
+const Kernels*
+avx2Kernels()
+{
+    return nullptr;
+}
+
+}  // namespace mapp::simd::detail
+
+#endif

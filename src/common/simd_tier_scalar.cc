@@ -1,0 +1,275 @@
+/**
+ * @file
+ * The scalar kernel tier — the portable baseline every other tier must
+ * match bit for bit, and the fallback when the CPU (or architecture)
+ * has nothing wider. The lock-step tree walk here is the engine PR 4
+ * measured at ~5x over the per-row node walk: fully unrolled
+ * power-of-two row blocks whose interleaved dependent load chains the
+ * CPU overlaps. This TU is compiled with portable optimization flags
+ * only (-O3 -funroll-loops, no -march), so one binary runs anywhere.
+ */
+
+#include "common/simd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mapp::simd {
+
+namespace {
+
+/**
+ * Advance @p RowCount rows through one tree for a fixed @p steps
+ * comparisons, leaving each row's final node index in the local state
+ * array. Rows that reach a leaf early self-loop on it (the sentinel
+ * encoding), so there is no per-step termination branch and the
+ * RowCount dependent load chains proceed in parallel.
+ *
+ * The pointers are `__restrict__` on purpose: `out` shares the double
+ * type with the threshold array, and without the no-alias promise the
+ * compiler must reload node data after every store — which serializes
+ * the row chains and erases the whole point of the interleaving. The
+ * walk advances a LOCAL state array `c` with constant indices
+ * (RowCount is a template parameter and the loops unroll completely),
+ * so the per-step state update is register-promotable and costs no
+ * load/store traffic on a kernel that is otherwise load-port bound.
+ *
+ * Each level costs four loads per row — feature id, the row's feature
+ * value, threshold, and the taken child `kids[2n + !(x <= t)]`. The
+ * comparison materializes as a SETcc folded into the child load's
+ * address, never a conditional branch (data-dependent splits
+ * mispredict ~50% and a mispredict per level would cost more than the
+ * whole level). The indexed child load is deliberate: it beats every
+ * register-select alternative on the real forests this project serves
+ * (see the PackedNode note in common/simd.h) because a load is one
+ * cheap load-port uop while a variable shift or cmov lengthens each
+ * level's dependency chain. The !(x <= t) form keeps NaN semantics
+ * identical to the oracle walk (NaN fails <=, so it routes right in
+ * both engines).
+ */
+template <std::size_t RowCount>
+__attribute__((noinline)) void
+walkBlock(const std::int32_t* __restrict__ feature,
+          const double* __restrict__ threshold,
+          const std::int32_t* __restrict__ kids, std::int32_t root,
+          int steps, const double* __restrict__ rows,
+          std::size_t n_features, double* __restrict__ out,
+          bool accumulate)
+{
+    std::int32_t c[RowCount];
+    for (std::size_t i = 0; i < RowCount; ++i)
+        c[i] = root;
+    for (int s = 0; s < steps;) {
+        const int stop = std::min(steps, s + kWalkStepsPerProbe - 1);
+        for (; s < stop; ++s) {
+            for (std::size_t i = 0; i < RowCount; ++i) {
+                const auto n = static_cast<std::size_t>(c[i]);
+                const double x =
+                    rows[i * n_features +
+                         static_cast<std::size_t>(feature[n])];
+                c[i] = kids[2 * n + static_cast<std::size_t>(
+                                        !(x <= threshold[n]))];
+            }
+        }
+        if (s >= steps)
+            break;
+        // Probe step: same walk, but fold "did any row move?" into
+        // the step itself (a leaf self-loops, so next == c iff the
+        // row is done) — the check reuses values already in flight
+        // instead of a separate pass over the block.
+        bool done = true;
+        for (std::size_t i = 0; i < RowCount; ++i) {
+            const auto n = static_cast<std::size_t>(c[i]);
+            const double x =
+                rows[i * n_features +
+                     static_cast<std::size_t>(feature[n])];
+            const std::int32_t next =
+                kids[2 * n +
+                     static_cast<std::size_t>(!(x <= threshold[n]))];
+            done &= next == c[i];
+            c[i] = next;
+        }
+        ++s;
+        if (done)
+            break;  // self-loop sentinel: extra steps are no-ops
+    }
+    // Fused output: the final leaf values leave the walk directly —
+    // no row-state array crosses the call boundary, so the caller
+    // never re-loads what the walk just stored.
+    if (accumulate)
+        for (std::size_t i = 0; i < RowCount; ++i)
+            out[i] += threshold[static_cast<std::size_t>(c[i])];
+    else
+        for (std::size_t i = 0; i < RowCount; ++i)
+            out[i] = threshold[static_cast<std::size_t>(c[i])];
+}
+
+/** Runtime-count tail variant for the final few rows. */
+__attribute__((noinline)) void
+walkBlockTail(const std::int32_t* __restrict__ feature,
+              const double* __restrict__ threshold,
+              const std::int32_t* __restrict__ kids, std::int32_t root,
+              int steps, const double* __restrict__ rows,
+              std::size_t n_features, std::size_t row_count,
+              double* __restrict__ out, bool accumulate)
+{
+    std::int32_t cur[kWalkBlockRows];
+    for (std::size_t i = 0; i < row_count; ++i)
+        cur[i] = root;
+    for (int s = 0; s < steps;) {
+        const int stop = std::min(steps, s + kWalkStepsPerProbe - 1);
+        for (; s < stop; ++s) {
+            for (std::size_t i = 0; i < row_count; ++i) {
+                const auto n = static_cast<std::size_t>(cur[i]);
+                const double x =
+                    rows[i * n_features +
+                         static_cast<std::size_t>(feature[n])];
+                cur[i] = kids[2 * n + static_cast<std::size_t>(
+                                          !(x <= threshold[n]))];
+            }
+        }
+        if (s >= steps)
+            break;
+        bool done = true;
+        for (std::size_t i = 0; i < row_count; ++i) {
+            const auto n = static_cast<std::size_t>(cur[i]);
+            const double x =
+                rows[i * n_features +
+                     static_cast<std::size_t>(feature[n])];
+            const std::int32_t next =
+                kids[2 * n +
+                     static_cast<std::size_t>(!(x <= threshold[n]))];
+            done &= next == cur[i];
+            cur[i] = next;
+        }
+        ++s;
+        if (done)
+            break;  // self-loop sentinel: extra steps are no-ops
+    }
+    if (accumulate)
+        for (std::size_t i = 0; i < row_count; ++i)
+            out[i] += threshold[static_cast<std::size_t>(cur[i])];
+    else
+        for (std::size_t i = 0; i < row_count; ++i)
+            out[i] = threshold[static_cast<std::size_t>(cur[i])];
+}
+
+void
+normalizeRowsScalar(double* row_major, std::size_t n_rows,
+                    const double* divisors, std::size_t n_features)
+{
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        double* row = row_major + r * n_features;
+        for (std::size_t f = 0; f < n_features; ++f)
+            row[f] /= divisors[f];
+    }
+}
+
+void
+scaleValuesScalar(double* values, std::size_t n, double factor)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        values[i] *= factor;
+}
+
+double
+sumSquaredDiffScalar(const double* a, const double* b, std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+double
+sumSquaredDevScalar(const double* x, std::size_t n, double center)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double d = x[i] - center;
+        acc += d * d;
+    }
+    return acc;
+}
+
+double
+sumAbsRelErrPctScalar(const double* truth, const double* pred,
+                      std::size_t n)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double at = std::abs(truth[i]);
+        const double denom = at > 1e-300 ? at : 1e-300;
+        acc += std::abs(truth[i] - pred[i]) / denom * 100.0;
+    }
+    return acc;
+}
+
+const Kernels kScalarTable{
+    Tier::Scalar,       "scalar",
+    &detail::walkScalar, &normalizeRowsScalar,
+    &scaleValuesScalar,  &sumSquaredDiffScalar,
+    &sumSquaredDevScalar, &sumAbsRelErrPctScalar,
+};
+
+}  // namespace
+
+namespace detail {
+
+/**
+ * Walk @p row_count (<= kWalkBlockRows) rows through one tree,
+ * cascading down power-of-two instantiations so nearly every row runs
+ * fully unrolled codegen; only a <4-row remainder takes the rolled
+ * tail. A partial final block would otherwise put up to 31 rows — a
+ * third of a campaign-sized batch — through the slow path.
+ */
+void
+walkScalar(const TreeNodes& nodes, std::int32_t root, int steps,
+           const double* rows, std::size_t n_features,
+           std::size_t row_count, double* out, bool accumulate)
+{
+    const std::int32_t* feature = nodes.feature;
+    const double* threshold = nodes.threshold;
+    const std::int32_t* kids = nodes.kids;
+    std::size_t done = 0;
+    while (row_count - done >= 32) {
+        walkBlock<32>(feature, threshold, kids, root, steps,
+                      rows + done * n_features, n_features, out + done,
+                      accumulate);
+        done += 32;
+    }
+    if (row_count - done >= 16) {
+        walkBlock<16>(feature, threshold, kids, root, steps,
+                      rows + done * n_features, n_features, out + done,
+                      accumulate);
+        done += 16;
+    }
+    if (row_count - done >= 8) {
+        walkBlock<8>(feature, threshold, kids, root, steps,
+                     rows + done * n_features, n_features, out + done,
+                     accumulate);
+        done += 8;
+    }
+    if (row_count - done >= 4) {
+        walkBlock<4>(feature, threshold, kids, root, steps,
+                     rows + done * n_features, n_features, out + done,
+                     accumulate);
+        done += 4;
+    }
+    if (row_count > done)
+        walkBlockTail(feature, threshold, kids, root, steps,
+                      rows + done * n_features, n_features,
+                      row_count - done, out + done, accumulate);
+}
+
+const Kernels*
+scalarKernels()
+{
+    return &kScalarTable;
+}
+
+}  // namespace detail
+
+}  // namespace mapp::simd

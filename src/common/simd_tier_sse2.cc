@@ -1,0 +1,169 @@
+/**
+ * @file
+ * The SSE2 kernel tier: two-lane __m128d versions of the normalizer,
+ * scaling and reduction kernels. The tree walk deliberately reuses the
+ * scalar cascade — SSE2 has no gather instructions, so a two-lane walk
+ * would spend more on lane insert/extract shuffles than the compares
+ * save; the table mixing vector and scalar kernels is intentional and
+ * the dispatch layer documents it.
+ *
+ * This TU is compiled with `-msse2 -ffp-contract=off` (x86 only). The
+ * contract-off flag pins bit-identity: a fused multiply-add would merge
+ * the sub/mul roundings the scalar tier performs separately.
+ *
+ * BIT-IDENTITY: every arithmetic element op here (div, sub, mul, abs,
+ * max) performs exactly the same single rounding as its scalar
+ * counterpart, and reduction lanes fold into the accumulator in element
+ * order with scalar adds — so results equal the scalar tier bit for
+ * bit (pinned by tests/test_simd.cc).
+ */
+
+#include "common/simd.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace mapp::simd {
+
+namespace {
+
+void
+normalizeRowsSse2(double* row_major, std::size_t n_rows,
+                  const double* divisors, std::size_t n_features)
+{
+    for (std::size_t r = 0; r < n_rows; ++r) {
+        double* row = row_major + r * n_features;
+        std::size_t f = 0;
+        for (; f + 2 <= n_features; f += 2) {
+            const __m128d x = _mm_loadu_pd(row + f);
+            const __m128d d = _mm_loadu_pd(divisors + f);
+            _mm_storeu_pd(row + f, _mm_div_pd(x, d));
+        }
+        for (; f < n_features; ++f)
+            row[f] /= divisors[f];
+    }
+}
+
+void
+scaleValuesSse2(double* values, std::size_t n, double factor)
+{
+    const __m128d vf = _mm_set1_pd(factor);
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        _mm_storeu_pd(values + i,
+                      _mm_mul_pd(_mm_loadu_pd(values + i), vf));
+    for (; i < n; ++i)
+        values[i] *= factor;
+}
+
+double
+sumSquaredDiffSse2(const double* a, const double* b, std::size_t n)
+{
+    double acc = 0.0;
+    alignas(16) double lanes[2];
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d d =
+            _mm_sub_pd(_mm_loadu_pd(a + i), _mm_loadu_pd(b + i));
+        _mm_store_pd(lanes, _mm_mul_pd(d, d));
+        // In-element-order lane folds keep the scalar summation
+        // sequence (the bit-identity contract).
+        acc += lanes[0];
+        acc += lanes[1];
+    }
+    for (; i < n; ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+double
+sumSquaredDevSse2(const double* x, std::size_t n, double center)
+{
+    const __m128d vc = _mm_set1_pd(center);
+    double acc = 0.0;
+    alignas(16) double lanes[2];
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d d = _mm_sub_pd(_mm_loadu_pd(x + i), vc);
+        _mm_store_pd(lanes, _mm_mul_pd(d, d));
+        acc += lanes[0];
+        acc += lanes[1];
+    }
+    for (; i < n; ++i) {
+        const double d = x[i] - center;
+        acc += d * d;
+    }
+    return acc;
+}
+
+double
+sumAbsRelErrPctSse2(const double* truth, const double* pred,
+                    std::size_t n)
+{
+    const __m128d sign = _mm_set1_pd(-0.0);
+    const __m128d eps = _mm_set1_pd(1e-300);
+    const __m128d hundred = _mm_set1_pd(100.0);
+    double acc = 0.0;
+    alignas(16) double lanes[2];
+    std::size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const __m128d t = _mm_loadu_pd(truth + i);
+        const __m128d p = _mm_loadu_pd(pred + i);
+        const __m128d at = _mm_andnot_pd(sign, t);
+        // MAXPD(a, b) = a > b ? a : b — exactly the scalar
+        // `|t| > 1e-300 ? |t| : 1e-300` (inputs are finite by
+        // contract, so the NaN edge of MAXPD cannot trigger).
+        const __m128d denom = _mm_max_pd(at, eps);
+        const __m128d ad = _mm_andnot_pd(sign, _mm_sub_pd(t, p));
+        _mm_store_pd(lanes,
+                     _mm_mul_pd(_mm_div_pd(ad, denom), hundred));
+        acc += lanes[0];
+        acc += lanes[1];
+    }
+    for (; i < n; ++i) {
+        const double at = truth[i] < 0.0 ? -truth[i] : truth[i];
+        const double denom = at > 1e-300 ? at : 1e-300;
+        const double d = truth[i] - pred[i];
+        acc += (d < 0.0 ? -d : d) / denom * 100.0;
+    }
+    return acc;
+}
+
+const Kernels kSse2Table{
+    Tier::Sse2,         "sse2",
+    &detail::walkScalar,  // no gathers in SSE2; scalar walk wins
+    &normalizeRowsSse2,  &scaleValuesSse2,
+    &sumSquaredDiffSse2, &sumSquaredDevSse2,
+    &sumAbsRelErrPctSse2,
+};
+
+}  // namespace
+
+namespace detail {
+
+const Kernels*
+sse2Kernels()
+{
+    return &kSse2Table;
+}
+
+}  // namespace detail
+
+}  // namespace mapp::simd
+
+#else  // !__SSE2__: tier not built for this architecture
+
+namespace mapp::simd::detail {
+
+const Kernels*
+sse2Kernels()
+{
+    return nullptr;
+}
+
+}  // namespace mapp::simd::detail
+
+#endif

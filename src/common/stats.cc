@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "common/simd.h"
+
 namespace mapp::stats {
 
 double
@@ -21,9 +23,8 @@ variance(std::span<const double> xs)
     if (xs.size() < 2)
         return 0.0;
     const double m = mean(xs);
-    double acc = 0.0;
-    for (double x : xs)
-        acc += (x - m) * (x - m);
+    const double acc =
+        simd::kernels().sumSquaredDev(xs.data(), xs.size(), m);
     return acc / static_cast<double>(xs.size());
 }
 

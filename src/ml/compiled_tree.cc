@@ -4,158 +4,41 @@
 
 #include "common/log.h"
 #include "common/parallel.h"
+#include "common/simd.h"
 #include "obs/metrics.h"
 
 namespace mapp::ml {
 
 namespace {
 
-/** Rows kept in flight per interleaved traversal block. */
-constexpr std::size_t kBlockRows = 32;
+/**
+ * Rows kept in flight per walk block — pinned to the kernel layer's
+ * block size (the chunk drivers never hand simd::Kernels::walk more
+ * rows than this).
+ */
+constexpr std::size_t kBlockRows = simd::kWalkBlockRows;
 
 /**
- * Steps the fixed-step walk runs between "is every row at a leaf?"
- * probes. Most rows exit well before the tree's depth bound; probing
- * every few steps recovers that slack for the price of one
- * well-predicted branch per probe (taken once, at the end).
+ * Rows per parallelFor task for a SINGLE-tree batch. Measurably larger
+ * than the forest chunk on purpose: a shallow single tree finishes a
+ * 32-row block in a few dozen compare steps, so with 256-row chunks
+ * the per-task fixed costs (task dispatch, kernel-table load, block
+ * setup/teardown) are a visible fraction of the work — that overhead
+ * ratio is why bench.inference.tree.batch.speedup sat near 1.17x while
+ * the 50-tree forest (50x more walk work per row) reached ~5x. 1024
+ * rows amortizes the fixed costs ~4x further while still splitting
+ * campaign-scale batches (thousands of rows) across worker lanes.
  */
-constexpr int kStepsPerProbe = 3;
-
-/** Rows per parallelFor task when a batch is split across lanes. */
-constexpr std::size_t kChunkRows = 256;
+constexpr std::size_t kTreeChunkRows = 1024;
 
 /**
- * Advance @p RowCount rows through one tree for a fixed @p steps
- * comparisons, leaving each row's final node index in @p cur. Rows
- * that reach a leaf early self-loop on it (the sentinel encoding), so
- * there is no per-step termination branch and the RowCount dependent
- * load chains proceed in parallel.
- *
- * The pointers are `__restrict__` on purpose: `cur` shares the
- * int32_t type with the node arrays, and without the no-alias promise
- * the compiler must reload node data after every row-state store —
- * which serializes the row chains and erases the whole point of the
- * interleaving. The walk advances a LOCAL state array `c` and copies
- * it to `cur` only at the end: a local array with constant indices
- * (RowCount is a template parameter and the loops unroll completely)
- * is register-promotable, so the per-step state update costs no
- * load/store traffic on a kernel that is otherwise load-port bound.
- *
- * The split decision is the indexed load kids[2c + !(x <= t)]: the
- * comparison materializes as a SETcc feeding an address, never a
- * conditional branch (data-dependent splits mispredict ~50% and a
- * mispredict per level would cost more than the whole level). The
- * !(x <= t) form keeps NaN semantics identical to the oracle walk
- * (NaN fails <=, so it routes right in both engines).
+ * Rows per parallelFor task for a FOREST batch. Smaller than the
+ * single-tree chunk: each chunk walks EVERY tree, so 256 rows already
+ * carries enough work to bury task overhead, finer granularity
+ * load-balances better across lanes, and the per-block accumulator +
+ * row slab stay resident in L1/L2 while all trees stream over them.
  */
-template <std::size_t RowCount>
-__attribute__((noinline)) void
-walkBlock(const std::int32_t* __restrict__ feature,
-          const double* __restrict__ threshold,
-          const std::int32_t* __restrict__ kids, std::int32_t root,
-          int steps, const double* __restrict__ rows,
-          std::size_t n_features, double* __restrict__ out,
-          bool accumulate)
-{
-    std::int32_t c[RowCount];
-    for (std::size_t i = 0; i < RowCount; ++i)
-        c[i] = root;
-    for (int s = 0; s < steps;) {
-        const int stop = std::min(steps, s + kStepsPerProbe - 1);
-        for (; s < stop; ++s) {
-            for (std::size_t i = 0; i < RowCount; ++i) {
-                const auto n = static_cast<std::size_t>(c[i]);
-                const double x =
-                    rows[i * n_features +
-                         static_cast<std::size_t>(feature[n])];
-                const auto go =
-                    static_cast<std::size_t>(!(x <= threshold[n]));
-                c[i] = kids[2 * n + go];
-            }
-        }
-        if (s >= steps)
-            break;
-        // Probe step: same walk, but fold "did any row move?" into
-        // the step itself (a leaf self-loops, so next == c iff the
-        // row is done) — the check reuses values already in flight
-        // instead of a separate pass over the block.
-        bool done = true;
-        for (std::size_t i = 0; i < RowCount; ++i) {
-            const auto n = static_cast<std::size_t>(c[i]);
-            const double x =
-                rows[i * n_features +
-                     static_cast<std::size_t>(feature[n])];
-            const auto go =
-                static_cast<std::size_t>(!(x <= threshold[n]));
-            const std::int32_t next = kids[2 * n + go];
-            done &= next == c[i];
-            c[i] = next;
-        }
-        ++s;
-        if (done)
-            break;  // self-loop sentinel: extra steps are no-ops
-    }
-    // Fused output: the final leaf values leave the walk directly —
-    // no row-state array crosses the call boundary, so the caller
-    // never re-loads what the walk just stored.
-    if (accumulate)
-        for (std::size_t i = 0; i < RowCount; ++i)
-            out[i] += threshold[static_cast<std::size_t>(c[i])];
-    else
-        for (std::size_t i = 0; i < RowCount; ++i)
-            out[i] = threshold[static_cast<std::size_t>(c[i])];
-}
-
-/** Runtime-count tail variant for the final few rows. */
-__attribute__((noinline)) void
-walkBlockTail(const std::int32_t* __restrict__ feature,
-              const double* __restrict__ threshold,
-              const std::int32_t* __restrict__ kids, std::int32_t root,
-              int steps, const double* __restrict__ rows,
-              std::size_t n_features, std::size_t row_count,
-              double* __restrict__ out, bool accumulate)
-{
-    std::int32_t cur[kBlockRows];
-    for (std::size_t i = 0; i < row_count; ++i)
-        cur[i] = root;
-    for (int s = 0; s < steps;) {
-        const int stop = std::min(steps, s + kStepsPerProbe - 1);
-        for (; s < stop; ++s) {
-            for (std::size_t i = 0; i < row_count; ++i) {
-                const auto n = static_cast<std::size_t>(cur[i]);
-                const double x =
-                    rows[i * n_features +
-                         static_cast<std::size_t>(feature[n])];
-                const auto go =
-                    static_cast<std::size_t>(!(x <= threshold[n]));
-                cur[i] = kids[2 * n + go];
-            }
-        }
-        if (s >= steps)
-            break;
-        bool done = true;
-        for (std::size_t i = 0; i < row_count; ++i) {
-            const auto n = static_cast<std::size_t>(cur[i]);
-            const double x =
-                rows[i * n_features +
-                     static_cast<std::size_t>(feature[n])];
-            const auto go =
-                static_cast<std::size_t>(!(x <= threshold[n]));
-            const std::int32_t next = kids[2 * n + go];
-            done &= next == cur[i];
-            cur[i] = next;
-        }
-        ++s;
-        if (done)
-            break;  // self-loop sentinel: extra steps are no-ops
-    }
-    if (accumulate)
-        for (std::size_t i = 0; i < row_count; ++i)
-            out[i] += threshold[static_cast<std::size_t>(cur[i])];
-    else
-        for (std::size_t i = 0; i < row_count; ++i)
-            out[i] = threshold[static_cast<std::size_t>(cur[i])];
-}
+constexpr std::size_t kForestChunkRows = 256;
 
 void
 checkBatchShape(const char* who, std::size_t flat, std::size_t n_features,
@@ -164,6 +47,22 @@ checkBatchShape(const char* who, std::size_t flat, std::size_t n_features,
     if (flat != n_features * n_rows)
         fatal(std::string(who) +
               ": rowMajor size does not equal nFeatures * out size");
+}
+
+/** Packed-word capacity guard (see compiled_tree.h): the 25/25/14-bit
+ * node word cannot represent indices or feature ids beyond these, and
+ * truncating silently would corrupt every prediction. */
+void
+checkPackable(const char* who, std::size_t total_nodes,
+              std::int32_t max_feature)
+{
+    if (total_nodes > simd::PackedNode::kMaxNodes)
+        fatal(std::string(who) +
+              ": node count exceeds the packed-walk capacity of 2^25");
+    if (static_cast<std::size_t>(max_feature) >=
+        simd::PackedNode::kMaxFeatures)
+        fatal(std::string(who) +
+              ": feature id exceeds the packed-walk capacity of 2^14");
 }
 
 void
@@ -181,50 +80,6 @@ countBatch(std::size_t rows)
 }
 
 /**
- * Walk @p count (<= kBlockRows) rows through one tree, cascading down
- * power-of-two instantiations so nearly every row runs fully unrolled
- * codegen; only a <4-row remainder takes the rolled tail. A partial
- * final block would otherwise put up to kBlockRows-1 rows — a third of
- * a campaign-sized batch — through the slow path.
- */
-inline void
-walkCascade(const std::int32_t* feature, const double* threshold,
-            const std::int32_t* kids, std::int32_t root, int steps,
-            const double* rows, std::size_t n_features,
-            std::size_t count, double* out, bool accumulate)
-{
-    std::size_t done = 0;
-    while (count - done >= 32) {
-        walkBlock<32>(feature, threshold, kids, root, steps,
-                      rows + done * n_features, n_features, out + done,
-                      accumulate);
-        done += 32;
-    }
-    if (count - done >= 16) {
-        walkBlock<16>(feature, threshold, kids, root, steps,
-                      rows + done * n_features, n_features, out + done,
-                      accumulate);
-        done += 16;
-    }
-    if (count - done >= 8) {
-        walkBlock<8>(feature, threshold, kids, root, steps,
-                     rows + done * n_features, n_features, out + done,
-                     accumulate);
-        done += 8;
-    }
-    if (count - done >= 4) {
-        walkBlock<4>(feature, threshold, kids, root, steps,
-                     rows + done * n_features, n_features, out + done,
-                     accumulate);
-        done += 4;
-    }
-    if (count > done)
-        walkBlockTail(feature, threshold, kids, root, steps,
-                      rows + done * n_features, n_features,
-                      count - done, out + done, accumulate);
-}
-
-/**
  * One tree-batch chunk: rows [begin, end) through a single tree.
  * Deliberately noinline — the kernel's block loop gets its own
  * register allocation instead of being inlined into whichever caller
@@ -232,10 +87,9 @@ walkCascade(const std::int32_t* feature, const double* threshold,
  * unrolled walk's codegen).
  */
 __attribute__((noinline)) void
-treeChunk(const std::int32_t* feature, const double* threshold,
-          const std::int32_t* kids, int steps, const double* row_major,
-          std::size_t n_features, double* out, std::size_t begin,
-          std::size_t end)
+treeChunk(const simd::Kernels& k, const simd::TreeNodes& nodes,
+          int steps, const double* row_major, std::size_t n_features,
+          double* out, std::size_t begin, std::size_t end)
 {
     double buf[kBlockRows];
     for (std::size_t r0 = begin; r0 < end; r0 += kBlockRows) {
@@ -246,20 +100,21 @@ treeChunk(const std::int32_t* feature, const double* threshold,
         } else if (count < kBlockRows && end - begin >= kBlockRows) {
             // Partial final block with enough history in this chunk:
             // slide back to a full block and re-walk a few rows.
-            // Predictions are deterministic, so the overlapped slots
-            // are rewritten with identical values, and the overlap
-            // never leaves [begin, end) — no cross-chunk writes.
+            // Predictions are deterministic and every tier is
+            // bit-identical, so the overlapped slots are rewritten
+            // with identical values, and the overlap never leaves
+            // [begin, end) — no cross-chunk writes.
             skip = kBlockRows - count;
             r0 -= skip;
             count = kBlockRows;
         }
         const double* rows = row_major + r0 * n_features;
         if (skip == 0) {
-            walkCascade(feature, threshold, kids, 0, steps, rows,
-                        n_features, count, out + r0, false);
+            k.walk(nodes, 0, steps, rows, n_features, count, out + r0,
+                   false);
         } else {
-            walkCascade(feature, threshold, kids, 0, steps, rows,
-                        n_features, count, buf, false);
+            k.walk(nodes, 0, steps, rows, n_features, count, buf,
+                   false);
             for (std::size_t i = skip; i < count; ++i)
                 out[r0 + i] = buf[i];
         }
@@ -271,11 +126,11 @@ treeChunk(const std::int32_t* feature, const double* threshold,
  * reference per-row ensemble walk). Noinline for the same reason as
  * treeChunk. */
 __attribute__((noinline)) void
-forestChunk(const std::int32_t* feature, const double* threshold,
-            const std::int32_t* kids, const std::int32_t* roots,
-            const int* steps, std::size_t n_trees,
-            const double* row_major, std::size_t n_features,
-            double* out, std::size_t begin, std::size_t end)
+forestChunk(const simd::Kernels& k, const simd::TreeNodes& nodes,
+            const std::int32_t* roots, const int* steps,
+            std::size_t n_trees, const double* row_major,
+            std::size_t n_features, double* out, std::size_t begin,
+            std::size_t end)
 {
     double acc[kBlockRows];
     const auto divisor = static_cast<double>(n_trees);
@@ -296,11 +151,11 @@ forestChunk(const std::int32_t* feature, const double* threshold,
         const double* rows = row_major + r0 * n_features;
         for (std::size_t i = 0; i < count; ++i)
             acc[i] = 0.0;
-        // Trees outer, rows inner: each tree's arrays stay hot across
+        // Trees outer, rows inner: each tree's records stay hot across
         // the block while every row still sums in tree order.
         for (std::size_t t = 0; t < n_trees; ++t)
-            walkCascade(feature, threshold, kids, roots[t], steps[t],
-                        rows, n_features, count, acc, true);
+            k.walk(nodes, roots[t], steps[t], rows, n_features, count,
+                   acc, true);
         for (std::size_t i = skip; i < count; ++i)
             out[r0 + i] = acc[i] / divisor;
     }
@@ -316,8 +171,10 @@ CompiledTree::CompiledTree(const DecisionTreeRegressor& tree)
     feature_.reserve(n);
     left_.reserve(n);
     right_.reserve(n);
-    kids_.reserve(2 * n);
     threshold_.reserve(n);
+    kids_.reserve(2 * n);
+    packed_.reserve(n);
+    std::int32_t maxFeature = 0;
     for (std::size_t i = 0; i < n; ++i) {
         const auto v = tree.nodeView(i);
         if (v.leaf) {
@@ -330,10 +187,17 @@ CompiledTree::CompiledTree(const DecisionTreeRegressor& tree)
             threshold_.push_back(v.threshold);
             left_.push_back(v.left);
             right_.push_back(v.right);
+            maxFeature = std::max(maxFeature, v.feature);
         }
         kids_.push_back(left_.back());
         kids_.push_back(right_.back());
+        packed_.push_back(simd::PackedNode::pack(
+            threshold_.back(),
+            static_cast<std::uint32_t>(feature_.back()),
+            static_cast<std::uint32_t>(left_.back()),
+            static_cast<std::uint32_t>(right_.back())));
     }
+    checkPackable("CompiledTree", n, maxFeature);
     steps_ = tree.depth();
 }
 
@@ -381,13 +245,20 @@ CompiledTree::predictBatch(std::span<const double> rowMajor,
         return;
     countBatch(nRows);
 
-    const std::size_t nChunks = (nRows + kChunkRows - 1) / kChunkRows;
+    // Resolve the kernel table once per batch, not per block: after
+    // first use this is one atomic load, but the hot loop should not
+    // even pay that.
+    const simd::Kernels& k = simd::kernels();
+    const simd::TreeNodes nodes{feature_.data(), threshold_.data(),
+                                kids_.data(), packed_.data()};
+    const std::size_t nChunks =
+        (nRows + kTreeChunkRows - 1) / kTreeChunkRows;
     parallel::parallelFor(nChunks, [&](std::size_t chunk) {
-        const std::size_t begin = chunk * kChunkRows;
-        const std::size_t end = std::min(begin + kChunkRows, nRows);
-        treeChunk(feature_.data(), threshold_.data(), kids_.data(),
-                  steps_, rowMajor.data(), nFeatures, out.data(),
-                  begin, end);
+        const std::size_t begin = chunk * kTreeChunkRows;
+        const std::size_t end =
+            std::min(begin + kTreeChunkRows, nRows);
+        treeChunk(k, nodes, steps_, rowMajor.data(), nFeatures,
+                  out.data(), begin, end);
     });
 }
 
@@ -411,10 +282,12 @@ CompiledForest::CompiledForest(const RandomForestRegressor& forest)
     feature_.reserve(total);
     left_.reserve(total);
     right_.reserve(total);
-    kids_.reserve(2 * total);
     threshold_.reserve(total);
+    kids_.reserve(2 * total);
+    packed_.reserve(total);
     roots_.reserve(trees.size());
     steps_.reserve(trees.size());
+    std::int32_t maxFeature = 0;
     for (const auto& tree : trees) {
         const auto base =
             static_cast<std::int32_t>(feature_.size());
@@ -433,11 +306,18 @@ CompiledForest::CompiledForest(const RandomForestRegressor& forest)
                 threshold_.push_back(v.threshold);
                 left_.push_back(base + v.left);
                 right_.push_back(base + v.right);
+                maxFeature = std::max(maxFeature, v.feature);
             }
             kids_.push_back(left_.back());
             kids_.push_back(right_.back());
+            packed_.push_back(simd::PackedNode::pack(
+                threshold_.back(),
+                static_cast<std::uint32_t>(feature_.back()),
+                static_cast<std::uint32_t>(left_.back()),
+                static_cast<std::uint32_t>(right_.back())));
         }
     }
+    checkPackable("CompiledForest", total, maxFeature);
 }
 
 double
@@ -497,14 +377,18 @@ CompiledForest::predictBatch(std::span<const double> rowMajor,
         return;
     countBatch(nRows);
 
-    const std::size_t nChunks = (nRows + kChunkRows - 1) / kChunkRows;
+    const simd::Kernels& k = simd::kernels();
+    const simd::TreeNodes nodes{feature_.data(), threshold_.data(),
+                                kids_.data(), packed_.data()};
+    const std::size_t nChunks =
+        (nRows + kForestChunkRows - 1) / kForestChunkRows;
     parallel::parallelFor(nChunks, [&](std::size_t chunk) {
-        const std::size_t begin = chunk * kChunkRows;
-        const std::size_t end = std::min(begin + kChunkRows, nRows);
-        forestChunk(feature_.data(), threshold_.data(), kids_.data(),
-                    roots_.data(), steps_.data(), roots_.size(),
-                    rowMajor.data(), nFeatures, out.data(), begin,
-                    end);
+        const std::size_t begin = chunk * kForestChunkRows;
+        const std::size_t end =
+            std::min(begin + kForestChunkRows, nRows);
+        forestChunk(k, nodes, roots_.data(), steps_.data(),
+                    roots_.size(), rowMajor.data(), nFeatures,
+                    out.data(), begin, end);
     });
 }
 

@@ -102,11 +102,7 @@ class RangeNormalizer
                            const std::vector<char>& time_mask) const;
 
     /** Convert normalized predictions back to seconds, in place. */
-    void denormalizeInPlace(std::span<double> values) const
-    {
-        for (double& v : values)
-            v *= scale_;
-    }
+    void denormalizeInPlace(std::span<double> values) const;
 
     /** Convert a normalized prediction back to seconds. */
     double denormalizeTarget(double value) const { return value * scale_; }

@@ -1,0 +1,403 @@
+/** @file Dispatch-equivalence suite for the runtime SIMD kernel layer:
+ * every available tier (scalar, sse2, avx2) must be bit-identical to
+ * the scalar baseline — fuzzed over random trees/forests (including
+ * NaN features and on-threshold probes), batch shapes that exercise
+ * the 16-row gather strips and every cascade tail, the normalizer, the
+ * metric reductions, and across thread counts. Also covers the
+ * dispatch layer itself: tier parsing, clamping, the kernelsFor()
+ * escape hatch and the simd.active_tier gauge. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "common/stats.h"
+#include "ml/compiled_tree.h"
+#include "ml/decision_tree.h"
+#include "ml/metrics.h"
+#include "ml/random_forest.h"
+#include "obs/metrics.h"
+#include "predictor/features.h"
+
+namespace {
+
+using namespace mapp;
+
+/** Bitwise vector comparison: the contract is identity, not epsilon. */
+void
+expectBitIdentical(const std::vector<double>& scalar,
+                   const std::vector<double>& tiered,
+                   const std::string& what)
+{
+    ASSERT_EQ(scalar.size(), tiered.size()) << what;
+    ASSERT_EQ(0, std::memcmp(scalar.data(), tiered.data(),
+                             scalar.size() * sizeof(double)))
+        << what;
+}
+
+ml::Dataset
+randomDataset(Rng& rng, std::size_t rows, std::size_t features)
+{
+    std::vector<std::string> names;
+    for (std::size_t f = 0; f < features; ++f)
+        names.push_back("f" + std::to_string(f));
+    ml::Dataset d(names);
+    for (std::size_t r = 0; r < rows; ++r) {
+        std::vector<double> row;
+        for (std::size_t f = 0; f < features; ++f)
+            row.push_back(rng.uniform(-10.0, 10.0));
+        d.addRow(std::move(row), rng.uniform(-5.0, 5.0), "g");
+    }
+    return d;
+}
+
+/**
+ * A row-major probe batch: random points, points sitting exactly ON
+ * split thresholds (the <= boundary every tier must route the same
+ * way), and a sprinkling of NaN features (NaN fails <=, so it must
+ * route right in every tier).
+ */
+std::vector<double>
+probeBatch(Rng& rng, const ml::DecisionTreeRegressor& tree,
+           std::size_t features, std::size_t rows)
+{
+    std::vector<double> flat;
+    flat.reserve(rows * features);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t f = 0; f < features; ++f)
+            flat.push_back(rng.uniform(-12.0, 12.0));
+    for (std::size_t r = 0; r < rows; ++r) {
+        const auto n = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(tree.nodeCount()) - 1));
+        const auto v = tree.nodeView(n);
+        if (!v.leaf)
+            flat[r * features + static_cast<std::size_t>(v.feature)] =
+                v.threshold;
+        if (r % 13 == 0)
+            flat[r * features +
+                 static_cast<std::size_t>(
+                     rng.uniformInt(0, static_cast<int>(features) - 1))] =
+                std::numeric_limits<double>::quiet_NaN();
+    }
+    return flat;
+}
+
+/** Run @p body once per available tier above scalar, restoring the
+ * auto-detected tier afterwards even on assertion failure. */
+template <typename Body>
+void
+forEachVectorTier(Body&& body)
+{
+    for (simd::Tier t : simd::availableTiers()) {
+        if (t == simd::Tier::Scalar)
+            continue;
+        simd::setTier(t);
+        body(t);
+    }
+    simd::setTier(simd::detectBestTier());
+}
+
+TEST(SimdDispatch, TierNamesRoundTrip)
+{
+    EXPECT_STREQ("scalar", simd::tierName(simd::Tier::Scalar));
+    EXPECT_STREQ("sse2", simd::tierName(simd::Tier::Sse2));
+    EXPECT_STREQ("avx2", simd::tierName(simd::Tier::Avx2));
+    EXPECT_TRUE(simd::setTierFromName("scalar"));
+    EXPECT_EQ(simd::Tier::Scalar, simd::activeTier());
+    EXPECT_TRUE(simd::setTierFromName("auto"));
+    EXPECT_EQ(simd::detectBestTier(), simd::activeTier());
+    // Unknown names are rejected without changing the active tier.
+    EXPECT_FALSE(simd::setTierFromName("avx512"));
+    EXPECT_FALSE(simd::setTierFromName(""));
+    EXPECT_EQ(simd::detectBestTier(), simd::activeTier());
+}
+
+TEST(SimdDispatch, AvailableTiersStartScalarAndHaveTables)
+{
+    const auto tiers = simd::availableTiers();
+    ASSERT_FALSE(tiers.empty());
+    EXPECT_EQ(simd::Tier::Scalar, tiers.front());
+    for (simd::Tier t : tiers) {
+        const simd::Kernels* k = simd::kernelsFor(t);
+        ASSERT_NE(nullptr, k) << simd::tierName(t);
+        EXPECT_EQ(t, k->tier);
+        EXPECT_STREQ(simd::tierName(t), k->name);
+        EXPECT_NE(nullptr, k->walk);
+        EXPECT_NE(nullptr, k->normalizeRows);
+        EXPECT_NE(nullptr, k->scaleValues);
+        EXPECT_NE(nullptr, k->sumSquaredDiff);
+        EXPECT_NE(nullptr, k->sumSquaredDev);
+        EXPECT_NE(nullptr, k->sumAbsRelErrPct);
+    }
+}
+
+TEST(SimdDispatch, GaugeTracksActiveTier)
+{
+    const auto gaugeValue = [] {
+        const auto snap = obs::defaultRegistry().snapshot();
+        const double* v = snap.findGauge("simd.active_tier");
+        return v != nullptr ? *v : -1.0;
+    };
+    simd::setTier(simd::Tier::Scalar);
+    EXPECT_EQ(0.0, gaugeValue());
+    simd::setTier(simd::detectBestTier());
+    EXPECT_EQ(static_cast<double>(
+                  static_cast<int>(simd::activeTier())),
+              gaugeValue());
+}
+
+TEST(SimdDispatch, UnsupportedTierClampsInsteadOfCrashing)
+{
+    // Asking for a wider tier than the CPU has must clamp to the best
+    // available — honoring it would be an illegal-instruction crash.
+    simd::setTier(simd::Tier::Avx2);
+    EXPECT_LE(simd::activeTier(), simd::detectBestTier());
+    EXPECT_GE(simd::activeTier(), simd::Tier::Scalar);
+    // kernelsFor is nullptr above the CPU's best, a real table below.
+    if (simd::detectBestTier() < simd::Tier::Avx2)
+        EXPECT_EQ(nullptr, simd::kernelsFor(simd::Tier::Avx2));
+    simd::setTier(simd::detectBestTier());
+}
+
+TEST(SimdKernels, TreeBatchBitIdenticalAcrossTiers)
+{
+    Rng rng(90210);
+    for (int trial = 0; trial < 24; ++trial) {
+        const auto features =
+            static_cast<std::size_t>(rng.uniformInt(1, 8));
+        const auto d = randomDataset(
+            rng, static_cast<std::size_t>(rng.uniformInt(4, 90)),
+            features);
+        ml::DecisionTreeParams params;
+        params.maxDepth = static_cast<int>(rng.uniformInt(1, 9));
+        ml::DecisionTreeRegressor tree(params);
+        tree.fit(d);
+        const ml::CompiledTree compiled(tree);
+
+        // Row counts chosen to hit the 16-row AVX2 strips, the 8/4
+        // scalar cascade blocks, the rolled tail, and the backward-
+        // overlapping partial chunk blocks.
+        const auto rows = static_cast<std::size_t>(
+            rng.uniformInt(1, trial % 3 == 0 ? 700 : 70));
+        const auto flat = probeBatch(rng, tree, features, rows);
+
+        simd::setTier(simd::Tier::Scalar);
+        std::vector<double> baseline(rows);
+        compiled.predictBatch(flat, features, baseline);
+
+        forEachVectorTier([&](simd::Tier t) {
+            std::vector<double> out(rows);
+            compiled.predictBatch(flat, features, out);
+            expectBitIdentical(baseline, out,
+                               std::string("tree walk, tier ") +
+                                   simd::tierName(t));
+        });
+    }
+}
+
+TEST(SimdKernels, ForestBatchBitIdenticalAcrossTiersAndThreads)
+{
+    Rng rng(777);
+    const std::size_t features = 5;
+    const auto d = randomDataset(rng, 80, features);
+    ml::RandomForestParams params;
+    params.numTrees = 12;
+    ml::RandomForestRegressor forest(params);
+    forest.fit(d);
+    const ml::CompiledForest compiled(forest);
+
+    // 1100 rows: several 256-row chunks plus a partial one.
+    const std::size_t rows = 1100;
+    std::vector<double> flat;
+    flat.reserve(rows * features);
+    for (std::size_t i = 0; i < rows * features; ++i)
+        flat.push_back(rng.uniform(-12.0, 12.0));
+
+    simd::setTier(simd::Tier::Scalar);
+    std::vector<double> baseline(rows);
+    compiled.predictBatch(flat, features, baseline);
+
+    for (int threads : {1, 2, 4}) {
+        parallel::setMaxThreads(threads);
+        forEachVectorTier([&](simd::Tier t) {
+            std::vector<double> out(rows);
+            compiled.predictBatch(flat, features, out);
+            expectBitIdentical(baseline, out,
+                               std::string("forest walk, tier ") +
+                                   simd::tierName(t) + ", threads " +
+                                   std::to_string(threads));
+        });
+    }
+    parallel::setMaxThreads(0);  // restore the environment default
+}
+
+TEST(SimdKernels, NormalizeRowsBitIdenticalAcrossTiers)
+{
+    Rng rng(31337);
+    for (int trial = 0; trial < 40; ++trial) {
+        const auto features =
+            static_cast<std::size_t>(rng.uniformInt(1, 13));
+        const auto rows =
+            static_cast<std::size_t>(rng.uniformInt(1, 50));
+        std::vector<double> data(rows * features);
+        for (double& v : data)
+            v = rng.uniform(-1e6, 1e6);
+        std::vector<double> divisors(features);
+        for (double& v : divisors)
+            v = rng.uniformInt(0, 2) == 0 ? 1.0
+                                          : rng.uniform(1e-3, 1e3);
+
+        auto baseline = data;
+        simd::kernelsFor(simd::Tier::Scalar)
+            ->normalizeRows(baseline.data(), rows, divisors.data(),
+                            features);
+        for (simd::Tier t : simd::availableTiers()) {
+            auto out = data;
+            simd::kernelsFor(t)->normalizeRows(out.data(), rows,
+                                               divisors.data(),
+                                               features);
+            expectBitIdentical(baseline, out,
+                               std::string("normalizeRows, tier ") +
+                                   simd::tierName(t));
+        }
+    }
+}
+
+TEST(SimdKernels, RangeNormalizerMatchesMaskedReference)
+{
+    // Pins the divisor-of-1.0 trick: the branch-free kernel divide
+    // must equal the old masked per-element divide bit for bit.
+    Rng rng(5150);
+    const auto names = predictor::bagFeatureNames();
+    const auto mask = predictor::RangeNormalizer::timeFeatureMask(names);
+    ml::Dataset train(names);
+    for (int r = 0; r < 12; ++r) {
+        std::vector<double> row(names.size());
+        for (double& v : row)
+            v = rng.uniform(0.1, 40.0);
+        train.addRow(std::move(row), rng.uniform(0.1, 40.0), "g");
+    }
+    predictor::RangeNormalizer norm;
+    norm.fit(train);
+    ASSERT_NE(1.0, norm.scale());
+
+    const std::size_t rows = 37;
+    std::vector<double> flat(rows * names.size());
+    for (double& v : flat)
+        v = rng.uniform(-50.0, 50.0);
+
+    auto reference = flat;
+    for (std::size_t base = 0; base < reference.size();
+         base += names.size())
+        for (std::size_t f = 0; f < names.size(); ++f)
+            if (mask[f])
+                reference[base + f] /= norm.scale();
+
+    for (simd::Tier t : simd::availableTiers()) {
+        simd::setTier(t);
+        auto out = flat;
+        norm.applyBatchInPlace(out, mask);
+        expectBitIdentical(reference, out,
+                           std::string("applyBatchInPlace, tier ") +
+                               simd::tierName(t));
+
+        // denormalizeInPlace is the inverse direction (multiply).
+        auto denorm = out;
+        norm.denormalizeInPlace(denorm);
+        auto denormRef = out;
+        for (double& v : denormRef)
+            v *= norm.scale();
+        expectBitIdentical(denormRef, denorm,
+                           std::string("denormalizeInPlace, tier ") +
+                               simd::tierName(t));
+    }
+    simd::setTier(simd::detectBestTier());
+}
+
+TEST(SimdKernels, ReductionsBitIdenticalAcrossTiers)
+{
+    Rng rng(161803);
+    for (int trial = 0; trial < 40; ++trial) {
+        // Lengths hit full vectors, odd tails and the n < width case.
+        const auto n =
+            static_cast<std::size_t>(rng.uniformInt(1, 129));
+        std::vector<double> a(n);
+        std::vector<double> b(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] = rng.uniform(-1e4, 1e4);
+            // Include tiny truths so the 1e-300 denominator floor and
+            // the exact MAXPD tie both get exercised.
+            b[i] = i % 11 == 0 ? 0.0 : rng.uniform(-1e4, 1e4);
+            if (i % 17 == 0)
+                a[i] = 0.0;
+        }
+        const double center = rng.uniform(-10.0, 10.0);
+
+        const simd::Kernels* s =
+            simd::kernelsFor(simd::Tier::Scalar);
+        for (simd::Tier t : simd::availableTiers()) {
+            const simd::Kernels* k = simd::kernelsFor(t);
+            const auto* tn = simd::tierName(t);
+            EXPECT_EQ(s->sumSquaredDiff(a.data(), b.data(), n),
+                      k->sumSquaredDiff(a.data(), b.data(), n))
+                << tn;
+            EXPECT_EQ(s->sumSquaredDev(a.data(), n, center),
+                      k->sumSquaredDev(a.data(), n, center))
+                << tn;
+            EXPECT_EQ(s->sumAbsRelErrPct(a.data(), b.data(), n),
+                      k->sumAbsRelErrPct(a.data(), b.data(), n))
+                << tn;
+        }
+    }
+}
+
+TEST(SimdKernels, MetricsAndStatsBitIdenticalAcrossTiers)
+{
+    Rng rng(271828);
+    const std::size_t n = 513;
+    std::vector<double> truth(n);
+    std::vector<double> pred(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        truth[i] = rng.uniform(-100.0, 100.0);
+        pred[i] = truth[i] + rng.uniform(-5.0, 5.0);
+    }
+
+    simd::setTier(simd::Tier::Scalar);
+    const double mse0 = ml::meanSquaredError(truth, pred);
+    const double mre0 = ml::meanRelativeErrorPercent(truth, pred);
+    const double r20 = ml::r2Score(truth, pred);
+    const double var0 = stats::variance(truth);
+    const double sd0 = stats::stddev(truth);
+
+    forEachVectorTier([&](simd::Tier t) {
+        const auto* tn = simd::tierName(t);
+        EXPECT_EQ(mse0, ml::meanSquaredError(truth, pred)) << tn;
+        EXPECT_EQ(mre0, ml::meanRelativeErrorPercent(truth, pred))
+            << tn;
+        EXPECT_EQ(r20, ml::r2Score(truth, pred)) << tn;
+        EXPECT_EQ(var0, stats::variance(truth)) << tn;
+        EXPECT_EQ(sd0, stats::stddev(truth)) << tn;
+    });
+}
+
+TEST(SimdKernels, ScaleValuesHandlesEmptyAndSingle)
+{
+    for (simd::Tier t : simd::availableTiers()) {
+        const simd::Kernels* k = simd::kernelsFor(t);
+        k->scaleValues(nullptr, 0, 2.0);  // no-op, must not crash
+        double one = 3.0;
+        k->scaleValues(&one, 1, 2.0);
+        EXPECT_EQ(6.0, one) << simd::tierName(t);
+        EXPECT_EQ(0.0, k->sumSquaredDiff(nullptr, nullptr, 0));
+        EXPECT_EQ(0.0, k->sumSquaredDev(nullptr, 0, 1.0));
+        EXPECT_EQ(0.0, k->sumAbsRelErrPct(nullptr, nullptr, 0));
+    }
+}
+
+}  // namespace
