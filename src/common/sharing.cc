@@ -1,48 +1,14 @@
 #include "common/sharing.h"
 
-#include <algorithm>
-#include <numeric>
-
 namespace mapp {
 
 std::vector<double>
 maxMinShare(const std::vector<double>& demands, double total)
 {
     std::vector<double> granted(demands.size(), 0.0);
-    if (demands.empty() || total <= 0.0)
-        return granted;
-
-    std::vector<std::size_t> hungry(demands.size());
-    std::iota(hungry.begin(), hungry.end(), std::size_t{0});
-    double remaining = total;
-
-    while (!hungry.empty()) {
-        const double fair = remaining / static_cast<double>(hungry.size());
-        bool anySatisfied = false;
-        for (auto it = hungry.begin(); it != hungry.end();) {
-            if (demands[*it] <= fair) {
-                granted[*it] = demands[*it];
-                remaining -= demands[*it];
-                it = hungry.erase(it);
-                anySatisfied = true;
-            } else {
-                ++it;
-            }
-        }
-        if (!anySatisfied) {
-            for (std::size_t idx : hungry)
-                granted[idx] = fair;
-            break;
-        }
-    }
+    std::vector<std::size_t> hungry;
+    maxMinShareInto(demands, total, granted, hungry);
     return granted;
-}
-
-double
-queueingDelayFactor(double utilization)
-{
-    const double u = std::clamp(utilization, 0.0, 0.95);
-    return 1.0 / (1.0 - u);
 }
 
 }  // namespace mapp

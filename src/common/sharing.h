@@ -8,6 +8,10 @@
 #ifndef MAPP_COMMON_SHARING_H
 #define MAPP_COMMON_SHARING_H
 
+#include <algorithm>
+#include <cstddef>
+#include <numeric>
+#include <span>
 #include <vector>
 
 #include "common/types.h"
@@ -25,10 +29,66 @@ std::vector<double> maxMinShare(const std::vector<double>& demands,
                                 double total);
 
 /**
+ * Allocation-free form of maxMinShare() for hot loops: writes the
+ * granted rates into @p granted (same size as @p demands) and uses
+ * @p hungry_scratch as working storage (cleared and refilled; keep it
+ * alive across calls to reuse its capacity). Bit-identical to
+ * maxMinShare() — both run the same waterfill in the same order.
+ * Inline — the co-run engine negotiates bandwidth once per event.
+ */
+inline void
+maxMinShareInto(std::span<const double> demands, double total,
+                std::span<double> granted,
+                std::vector<std::size_t>& hungry_scratch)
+{
+    std::fill(granted.begin(), granted.end(), 0.0);
+    if (demands.empty() || total <= 0.0)
+        return;
+
+    // The still-unsatisfied demands, as an in-place compacted index
+    // array (ascending order preserved — the waterfill visits demands
+    // in the same order as the original erase-based loop, so the
+    // floating-point sequence is unchanged).
+    auto& hungry = hungry_scratch;
+    hungry.resize(demands.size());
+    std::iota(hungry.begin(), hungry.end(), std::size_t{0});
+    std::size_t* idx = hungry.data();
+    std::size_t count = hungry.size();
+    double remaining = total;
+
+    while (count > 0) {
+        const double fair = remaining / static_cast<double>(count);
+        bool anySatisfied = false;
+        std::size_t write = 0;
+        for (std::size_t r = 0; r < count; ++r) {
+            const std::size_t i = idx[r];
+            if (demands[i] <= fair) {
+                granted[i] = demands[i];
+                remaining -= demands[i];
+                anySatisfied = true;
+            } else {
+                idx[write++] = i;
+            }
+        }
+        count = write;
+        if (!anySatisfied) {
+            for (std::size_t r = 0; r < count; ++r)
+                granted[idx[r]] = fair;
+            break;
+        }
+    }
+}
+
+/**
  * Latency multiplier from channel utilization u: 1 / (1 - u), with u
  * clamped to 0.95 for stability.
  */
-double queueingDelayFactor(double utilization);
+inline double
+queueingDelayFactor(double utilization)
+{
+    const double u = std::clamp(utilization, 0.0, 0.95);
+    return 1.0 / (1.0 - u);
+}
 
 }  // namespace mapp
 

@@ -27,14 +27,16 @@ effectiveParallelism(int threads, int logical_cores, const CpuConfig& config)
     return std::max(eff, 0.25);
 }
 
-PhaseTiming
-timePhase(const isa::KernelPhase& phase, const CpuAllocation& alloc,
-          const CpuConfig& config, const CacheModelParams& cache_params)
+CpuPhaseRate
+cpuPhaseRate(const isa::KernelPhase& phase, const CpuAllocation& alloc,
+             const CpuConfig& config, const CacheModelParams& cache_params)
 {
-    PhaseTiming t;
+    CpuPhaseRate rate;
     const auto insts = static_cast<double>(phase.instructions());
     if (insts == 0.0)
-        return t;
+        return rate;
+    rate.empty = false;
+    rate.frequency = config.frequency;
 
     // Issue cycles: class-weighted CPI.
     double issueCycles = 0.0;
@@ -42,7 +44,7 @@ timePhase(const isa::KernelPhase& phase, const CpuAllocation& alloc,
         issueCycles += static_cast<double>(phase.mix.count(c)) *
                        config.cpi[static_cast<std::size_t>(c)];
     }
-    t.computeCycles = issueCycles;
+    rate.computeCycles = issueCycles;
 
     // Branch misprediction stalls.
     const auto branches =
@@ -50,41 +52,43 @@ timePhase(const isa::KernelPhase& phase, const CpuAllocation& alloc,
     const double mispredictRate =
         config.baseMispredictRate +
         config.divergenceMispredictRate * phase.branchDivergence;
-    t.branchCycles = branches * mispredictRate * config.branchPenaltyCycles;
+    rate.branchCycles =
+        branches * mispredictRate * config.branchPenaltyCycles;
+    rate.issueBranchCycles = rate.computeCycles + rate.branchCycles;
 
-    // LLC miss stalls, partially hidden by memory-level parallelism and
-    // inflated by queueing at the memory controller.
+    // LLC miss stalls, partially hidden by memory-level parallelism;
+    // the per-event queueing multiplier lands in timePhaseFromRate().
     const auto accesses =
         static_cast<double>(phase.mix.count(isa::InstClass::MemRead) +
                             phase.mix.count(isa::InstClass::MemWrite));
-    t.llcMissRate = llcMissRate(phase.footprint, alloc.llcShare,
-                                phase.locality, cache_params);
-    t.memoryCycles = accesses * t.llcMissRate * config.memLatencyCycles *
-                     (1.0 - config.mlpOverlap) * alloc.memQueueFactor;
+    rate.llcMissRate = llcMissRate(phase.footprint, alloc.llcShare,
+                                   phase.locality, cache_params);
+    rate.memStallBase = accesses * rate.llcMissRate *
+                        config.memLatencyCycles *
+                        (1.0 - config.mlpOverlap);
 
-    const double totalCycles =
-        t.computeCycles + t.branchCycles + t.memoryCycles;
-
-    // Amdahl scaling over the effective thread-team parallelism.
-    t.effectiveParallelism =
+    // Amdahl scaling terms over the effective thread-team parallelism.
+    rate.parallelFraction = phase.parallelFraction;
+    rate.serialFraction = 1.0 - phase.parallelFraction;
+    rate.effectiveParallelism =
         effectiveParallelism(alloc.threads, alloc.logicalCores, config);
-    const double scaledCycles =
-        totalCycles * (1.0 - phase.parallelFraction) +
-        totalCycles * phase.parallelFraction / t.effectiveParallelism +
-        config.threadSpawnCycles * static_cast<double>(alloc.threads);
+    rate.spawnCycles = config.threadSpawnCycles *
+                       static_cast<double>(alloc.threads);
 
-    const Seconds coreTime = scaledCycles / config.frequency;
+    // Traffic beyond the LLC that must drain through the granted share.
+    rate.dramTraffic =
+        static_cast<double>(phase.traffic()) * rate.llcMissRate;
 
-    // Bandwidth lower bound: traffic beyond the LLC must drain through
-    // the granted share.
-    const double dramTraffic =
-        static_cast<double>(phase.traffic()) * t.llcMissRate;
-    t.bandwidthTime = alloc.bandwidthShare > 0.0
-                          ? dramTraffic / alloc.bandwidthShare
-                          : 0.0;
+    return rate;
+}
 
-    t.time = std::max(coreTime, t.bandwidthTime);
-    return t;
+PhaseTiming
+timePhase(const isa::KernelPhase& phase, const CpuAllocation& alloc,
+          const CpuConfig& config, const CacheModelParams& cache_params)
+{
+    return timePhaseFromRate(
+        cpuPhaseRate(phase, alloc, config, cache_params),
+        alloc.bandwidthShare, alloc.memQueueFactor);
 }
 
 BytesPerSecond
@@ -93,16 +97,8 @@ phaseBandwidthDemand(const isa::KernelPhase& phase,
                      const CacheModelParams& cache_params)
 {
     // Demand = DRAM traffic / unconstrained core time.
-    CpuAllocation unconstrained = alloc;
-    unconstrained.bandwidthShare = 0.0;
-    unconstrained.memQueueFactor = 1.0;
-    const PhaseTiming t =
-        timePhase(phase, unconstrained, config, cache_params);
-    if (t.time <= 0.0)
-        return 0.0;
-    const double dramTraffic =
-        static_cast<double>(phase.traffic()) * t.llcMissRate;
-    return dramTraffic / t.time;
+    return phaseDemandFromRate(
+        cpuPhaseRate(phase, alloc, config, cache_params));
 }
 
 }  // namespace mapp::cpusim

@@ -8,6 +8,8 @@
 #ifndef MAPP_CPUSIM_CORE_MODEL_H
 #define MAPP_CPUSIM_CORE_MODEL_H
 
+#include <algorithm>
+
 #include "common/types.h"
 #include "cpusim/cache_model.h"
 #include "cpusim/cpu_config.h"
@@ -47,6 +49,102 @@ struct PhaseTiming
 };
 
 /**
+ * The partition-invariant timing terms of one phase: everything
+ * timePhase() computes that depends only on the phase and the spatial
+ * allocation (thread team, logical-core share, LLC share) — not on the
+ * per-event bandwidth grant or queueing factor. The co-run engine
+ * computes a rate once per phase entry (and again on residency
+ * changes) and finishes per-event timing with timePhaseFromRate(),
+ * which is a handful of flops instead of the full core/cache model.
+ */
+struct CpuPhaseRate
+{
+    /** Zero-instruction phase: timing is identically zero. */
+    bool empty = true;
+
+    Cycles computeCycles = 0.0;  ///< issue-bound cycles
+    Cycles branchCycles = 0.0;   ///< misprediction stalls
+    Cycles issueBranchCycles = 0.0;  ///< computeCycles + branchCycles
+    /** LLC-miss stall cycles before the per-event queueing multiplier. */
+    Cycles memStallBase = 0.0;
+    double parallelFraction = 0.0;
+    double serialFraction = 1.0;     ///< 1 - parallelFraction
+    double effectiveParallelism = 1.0;
+    Cycles spawnCycles = 0.0;        ///< thread-team spawn overhead
+    double dramTraffic = 0.0;        ///< post-LLC bytes to drain
+    double llcMissRate = 0.0;
+    double frequency = 1.0;          ///< copied from the config
+};
+
+/**
+ * Precompute the partition-invariant rate terms of @p phase. Only
+ * @p alloc's threads / logicalCores / llcShare fields are read; the
+ * bandwidth grant and queue factor are supplied per event to
+ * timePhaseFromRate().
+ */
+CpuPhaseRate cpuPhaseRate(const isa::KernelPhase& phase,
+                          const CpuAllocation& alloc,
+                          const CpuConfig& config,
+                          const CacheModelParams& cache_params = {});
+
+/**
+ * Finish one phase's timing from its precomputed rate under the given
+ * bandwidth share and memory-queueing factor. Bit-identical to the
+ * corresponding timePhase() call: the split performs exactly the same
+ * floating-point operations in the same order. Inline — this is the
+ * co-run engine's per-event hot path.
+ */
+inline PhaseTiming
+timePhaseFromRate(const CpuPhaseRate& rate,
+                  BytesPerSecond bandwidth_share, double mem_queue_factor)
+{
+    PhaseTiming t;
+    if (rate.empty)
+        return t;
+
+    t.computeCycles = rate.computeCycles;
+    t.branchCycles = rate.branchCycles;
+    t.llcMissRate = rate.llcMissRate;
+    t.effectiveParallelism = rate.effectiveParallelism;
+
+    // Queueing at the memory controller inflates the LLC-miss stalls.
+    t.memoryCycles = rate.memStallBase * mem_queue_factor;
+
+    const double totalCycles = rate.issueBranchCycles + t.memoryCycles;
+
+    // Amdahl scaling over the effective thread-team parallelism.
+    const double scaledCycles =
+        totalCycles * rate.serialFraction +
+        totalCycles * rate.parallelFraction /
+            rate.effectiveParallelism +
+        rate.spawnCycles;
+
+    const Seconds coreTime = scaledCycles / rate.frequency;
+
+    // Bandwidth lower bound: traffic beyond the LLC must drain through
+    // the granted share.
+    t.bandwidthTime = bandwidth_share > 0.0
+                          ? rate.dramTraffic / bandwidth_share
+                          : 0.0;
+
+    t.time = std::max(coreTime, t.bandwidthTime);
+    return t;
+}
+
+/**
+ * Unconstrained bandwidth demand derived from a precomputed rate —
+ * the same value phaseBandwidthDemand() computes from scratch.
+ */
+inline BytesPerSecond
+phaseDemandFromRate(const CpuPhaseRate& rate)
+{
+    const PhaseTiming t = timePhaseFromRate(rate, 0.0, 1.0);
+    if (t.time <= 0.0)
+        return 0.0;
+    return rate.dramTraffic / t.time;
+}
+
+/**
  * Time one phase under an allocation.
  *
  * The model: class-weighted CPI for issue cycles, divergence-scaled
@@ -55,6 +153,8 @@ struct PhaseTiming
  * parallelism of the thread team (SMT threads yield less than physical
  * cores), and a bandwidth lower bound — the phase can never finish
  * faster than its traffic drains through its granted bandwidth.
+ *
+ * Implemented as cpuPhaseRate() + timePhaseFromRate().
  */
 PhaseTiming timePhase(const isa::KernelPhase& phase,
                       const CpuAllocation& alloc, const CpuConfig& config,

@@ -11,10 +11,4 @@ shareBandwidth(const std::vector<BytesPerSecond>& demands,
     return maxMinShare(demands, total);
 }
 
-double
-queueingFactor(double utilization)
-{
-    return queueingDelayFactor(utilization);
-}
-
 }  // namespace mapp::cpusim

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "common/sharing.h"
 #include "common/types.h"
 
 namespace mapp::cpusim {
@@ -31,7 +32,11 @@ std::vector<BytesPerSecond> shareBandwidth(
  * Latency multiplier from channel utilization u in [0, 1): classic
  * 1 / (1 - u) queueing growth, clamped for stability.
  */
-double queueingFactor(double utilization);
+inline double
+queueingFactor(double utilization)
+{
+    return queueingDelayFactor(utilization);
+}
 
 }  // namespace mapp::cpusim
 

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
+#include <vector>
 
 #include "common/log.h"
 #include "cpusim/memory_model.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/corun_engine.h"
 
 namespace mapp::cpusim {
 
@@ -17,19 +20,81 @@ MulticoreSim::MulticoreSim(CpuConfig config, CacheModelParams cache_params)
 
 namespace {
 
-/** Mutable co-run state of one app. */
-struct AppState
+/**
+ * The CPU side of the shared co-run engine: active apps split the
+ * logical cores and the LLC equally; the DRAM channel capacity is the
+ * configured bandwidth, with M/M/1-style queueing as utilization rises.
+ */
+struct CpuCorunModel
 {
-    const isa::WorkloadTrace* trace = nullptr;
-    int threads = 1;
-    std::size_t phase = 0;
-    double phaseFraction = 0.0;  ///< progress through the current phase
-    Seconds finishTime = -1.0;
+    static constexpr const char* kName = "cpusim";
+    static constexpr const char* kClientWord = "app";
+    using Rate = CpuPhaseRate;
 
-    bool done() const { return phase >= trace->phases().size(); }
-    const isa::KernelPhase& currentPhase() const
+    struct Partition
     {
-        return trace->phases()[phase];
+        int residents = 0;
+        int coresEach = 1;
+        Bytes llcEach = 0;
+    };
+
+    const CpuConfig& config;
+    const CacheModelParams& cacheParams;
+    std::span<const int> threads;
+
+    Partition makePartition(int n) const
+    {
+        Partition p;
+        p.residents = n;
+        // Divide cores and LLC equally among active apps.
+        p.coresEach = std::max(config.logicalCores() / n, 1);
+        p.llcEach = config.llcSize / static_cast<Bytes>(n);
+        return p;
+    }
+
+    Rate phaseRate(std::size_t client, const isa::KernelPhase& phase,
+                   const Partition& p) const
+    {
+        CpuAllocation a;
+        a.threads = std::max(threads[client], 1);
+        a.logicalCores = p.coresEach;
+        a.llcShare = p.llcEach;
+        return cpuPhaseRate(phase, a, config, cacheParams);
+    }
+
+    double demand(const Rate& rate) const
+    {
+        return phaseDemandFromRate(rate);
+    }
+
+    double capacity(const Partition&) const
+    {
+        return config.memBandwidth;
+    }
+
+    double queueFactor(double total_demand, const Partition&) const
+    {
+        const double utilization =
+            std::min(total_demand / config.memBandwidth, 1.0);
+        return queueingFactor(utilization);
+    }
+
+    Seconds finishTime(const Rate& rate, double bandwidth_share,
+                       double queue) const
+    {
+        return timePhaseFromRate(rate, bandwidth_share, queue).time;
+    }
+
+    void tracePartition(obs::Tracer& tracer, const Partition& p,
+                        Seconds clock, int track_pid) const
+    {
+        tracer.instantEvent(
+            "re-partition", "cpusim.partition", clock * 1e6, track_pid,
+            0,
+            {obs::TraceArg::num("residents", p.residents),
+             obs::TraceArg::num("cores_each", p.coresEach),
+             obs::TraceArg::num("llc_bytes_each",
+                                static_cast<double>(p.llcEach))});
     }
 };
 
@@ -43,157 +108,45 @@ MulticoreSim::runShared(const std::vector<const isa::WorkloadTrace*>& traces,
         fatal("MulticoreSim::runShared: empty bag");
     if (traces.size() != threads.size())
         fatal("MulticoreSim::runShared: traces/threads size mismatch");
-
-    std::vector<AppState> apps(traces.size());
-    for (std::size_t i = 0; i < traces.size(); ++i) {
-        if (traces[i] == nullptr || traces[i]->empty())
+    for (const auto* trace : traces) {
+        if (trace == nullptr || trace->empty())
             fatal("MulticoreSim::runShared: empty trace in bag");
-        apps[i].trace = traces[i];
-        apps[i].threads = std::max(threads[i], 1);
-        if (traces[i]->phases().empty())
-            apps[i].finishTime = 0.0;
     }
 
-    Seconds clock = 0.0;
-    // Guard against infinite loops from degenerate inputs.
-    const std::size_t maxEvents = 16 * 1024 * 1024;
-    std::size_t events = 0;
-
-    // Tracing costs one branch per simulator event when disabled.
-    obs::Tracer& tracer = obs::tracer();
-    const bool tracing = tracer.enabled();
-    int trackPid = 0;
-    std::vector<Seconds> phaseStart(apps.size(), 0.0);
-    std::size_t lastResident = 0;
-    std::size_t repartitions = 0;
-    std::size_t phasesCompleted = 0;
-    if (tracing) {
-        std::string label = "cpusim bag:";
-        for (const auto& app : apps)
-            label += " " + app.trace->app();
-        trackPid = tracer.beginTrack(label);
-        for (std::size_t i = 0; i < apps.size(); ++i) {
-            tracer.nameThread(trackPid, static_cast<int>(i),
-                              "app " + std::to_string(i) + " (" +
-                                  apps[i].trace->app() + ")");
-        }
-    }
-
-    while (true) {
-        // Collect the active set.
-        std::vector<std::size_t> active;
-        for (std::size_t i = 0; i < apps.size(); ++i)
-            if (!apps[i].done())
-                active.push_back(i);
-        if (active.empty())
-            break;
-        if (++events > maxEvents)
-            panic("MulticoreSim: event limit exceeded");
-
-        // Divide cores and LLC equally among active apps.
-        const auto n = static_cast<int>(active.size());
-        const int coresEach =
-            std::max(config_.logicalCores() / n, 1);
-        const Bytes llcEach = config_.llcSize / static_cast<Bytes>(n);
-
-        // The active set changed: cores and LLC are re-divided.
-        if (active.size() != lastResident) {
-            lastResident = active.size();
-            ++repartitions;
-            if (tracing) {
-                tracer.instantEvent(
-                    "re-partition", "cpusim.partition", clock * 1e6,
-                    trackPid, 0,
-                    {obs::TraceArg::num("residents", n),
-                     obs::TraceArg::num("cores_each", coresEach),
-                     obs::TraceArg::num("llc_bytes_each",
-                                        static_cast<double>(llcEach))});
-            }
-        }
-
-        // Bandwidth negotiation over the current phases' demands.
-        std::vector<CpuAllocation> allocs(active.size());
-        std::vector<BytesPerSecond> demands(active.size());
-        for (std::size_t k = 0; k < active.size(); ++k) {
-            auto& a = allocs[k];
-            a.threads = apps[active[k]].threads;
-            a.logicalCores = coresEach;
-            a.llcShare = llcEach;
-            demands[k] = phaseBandwidthDemand(
-                apps[active[k]].currentPhase(), a, config_, cacheParams_);
-        }
-        const auto granted = shareBandwidth(demands, config_.memBandwidth);
-        double totalDemand = 0.0;
-        for (double d : demands)
-            totalDemand += d;
-        const double utilization =
-            std::min(totalDemand / config_.memBandwidth, 1.0);
-        const double queue = queueingFactor(utilization);
-
-        // Phase durations under the current allocation.
-        std::vector<Seconds> remaining(active.size());
-        std::vector<Seconds> durations(active.size());
-        Seconds dt = std::numeric_limits<Seconds>::infinity();
-        for (std::size_t k = 0; k < active.size(); ++k) {
-            allocs[k].bandwidthShare = std::max(granted[k], 1.0);
-            allocs[k].memQueueFactor = queue;
-            const PhaseTiming t =
-                timePhase(apps[active[k]].currentPhase(), allocs[k],
-                          config_, cacheParams_);
-            durations[k] = std::max(t.time, 1e-15);
-            remaining[k] =
-                durations[k] * (1.0 - apps[active[k]].phaseFraction);
-            dt = std::min(dt, remaining[k]);
-        }
-
-        // Advance to the earliest phase completion.
-        clock += dt;
-        for (std::size_t k = 0; k < active.size(); ++k) {
-            AppState& app = apps[active[k]];
-            if (remaining[k] - dt <= durations[k] * 1e-12) {
-                ++phasesCompleted;
-                if (tracing) {
-                    const std::size_t i = active[k];
-                    tracer.completeEvent(
-                        app.currentPhase().name, "cpusim.phase",
-                        phaseStart[i] * 1e6,
-                        (clock - phaseStart[i]) * 1e6, trackPid,
-                        static_cast<int>(i),
-                        {obs::TraceArg::str("app", app.trace->app()),
-                         obs::TraceArg::num(
-                             "phase_index",
-                             static_cast<double>(app.phase))});
-                    phaseStart[i] = clock;
-                }
-                app.phase += 1;
-                app.phaseFraction = 0.0;
-                if (app.done())
-                    app.finishTime = clock;
-            } else {
-                app.phaseFraction += dt / durations[k];
-            }
-        }
-    }
+    const CpuCorunModel model{config_, cacheParams_, threads};
+    thread_local std::vector<Seconds> finish;
+    finish.resize(traces.size());
+    const sim::CorunStats stats = sim::runCorun(
+        model,
+        std::span<const isa::WorkloadTrace* const>(traces.data(),
+                                                   traces.size()),
+        finish);
 
     // Flush the run's counters in one batch.
     {
-        auto& registry = obs::defaultRegistry();
-        registry.counter("cpusim.runs").add(1);
-        registry.counter("cpusim.sim_events").add(events);
-        registry.counter("cpusim.repartitions").add(repartitions);
-        registry.counter("cpusim.phases_completed").add(phasesCompleted);
+        static auto& registry = obs::defaultRegistry();
+        static auto& runs = registry.counter("cpusim.runs");
+        static auto& simEvents = registry.counter("cpusim.sim_events");
+        static auto& repartitions =
+            registry.counter("cpusim.repartitions");
+        static auto& phasesCompleted =
+            registry.counter("cpusim.phases_completed");
+        runs.add(1);
+        simEvents.add(stats.events);
+        repartitions.add(stats.repartitions);
+        phasesCompleted.add(stats.phasesCompleted);
     }
 
     BagCpuResult result;
-    result.apps.reserve(apps.size());
-    for (const auto& app : apps) {
+    result.apps.reserve(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
         AppCpuResult r;
-        r.app = app.trace->app();
-        r.time = app.finishTime;
-        r.instructions = app.trace->totalInstructions();
-        r.ipc = app.finishTime > 0.0
+        r.app = traces[i]->app();
+        r.time = finish[i];
+        r.instructions = traces[i]->totalInstructions();
+        r.ipc = finish[i] > 0.0
                     ? static_cast<double>(r.instructions) /
-                          (app.finishTime * config_.frequency)
+                          (finish[i] * config_.frequency)
                     : 0.0;
         result.makespan = std::max(result.makespan, r.time);
         result.apps.push_back(std::move(r));

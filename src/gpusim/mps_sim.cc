@@ -1,12 +1,14 @@
 #include "gpusim/mps_sim.h"
 
 #include <algorithm>
-#include <limits>
+#include <span>
+#include <vector>
 
 #include "common/log.h"
 #include "common/sharing.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/corun_engine.h"
 
 namespace mapp::gpusim {
 
@@ -17,18 +19,84 @@ MpsSim::MpsSim(GpuConfig config, L2ModelParams l2_params)
 
 namespace {
 
-/** Mutable co-run state of one MPS client. */
-struct ClientState
+/**
+ * The GPU side of the shared co-run engine: MPS clients get a spatial
+ * SM partition and a capacity split of L2; row-buffer interference
+ * shaves peak DRAM bandwidth per extra resident client.
+ */
+struct GpuCorunModel
 {
-    const isa::WorkloadTrace* trace = nullptr;
-    std::size_t phase = 0;
-    double phaseFraction = 0.0;
-    Seconds finishTime = -1.0;
+    static constexpr const char* kName = "gpusim";
+    static constexpr const char* kClientWord = "client";
+    using Rate = GpuPhaseRate;
 
-    bool done() const { return phase >= trace->phases().size(); }
-    const isa::KernelPhase& currentPhase() const
+    struct Partition
     {
-        return trace->phases()[phase];
+        int residents = 0;
+        int smsEach = 1;
+        Bytes l2Each = 0;
+        double peakBw = 0.0;
+    };
+
+    const GpuConfig& config;
+    const L2ModelParams& l2Params;
+
+    Partition makePartition(int n) const
+    {
+        Partition p;
+        p.residents = n;
+        // Spatial partition of the SM array and capacity split of L2.
+        p.smsEach = std::max(config.numSms / n, 1);
+        p.l2Each = config.l2Size / static_cast<Bytes>(n);
+        // Row-buffer interference shaves peak DRAM bandwidth per extra
+        // resident client.
+        p.peakBw = config.memBandwidth *
+                   std::max(1.0 - config.dramInterferenceLoss *
+                                      static_cast<double>(n - 1),
+                            0.3);
+        return p;
+    }
+
+    Rate phaseRate(std::size_t /*client*/, const isa::KernelPhase& phase,
+                   const Partition& p) const
+    {
+        GpuAllocation a;
+        a.sms = p.smsEach;
+        a.l2Share = p.l2Each;
+        a.residentApps = p.residents;
+        return gpuPhaseRate(phase, a, config, l2Params);
+    }
+
+    double demand(const Rate& rate) const
+    {
+        return gpuPhaseDemandFromRate(rate);
+    }
+
+    double capacity(const Partition& p) const { return p.peakBw; }
+
+    double queueFactor(double total_demand, const Partition& p) const
+    {
+        return queueingDelayFactor(
+            std::min(total_demand / p.peakBw, 1.0));
+    }
+
+    Seconds finishTime(const Rate& rate, double bandwidth_share,
+                       double queue) const
+    {
+        return timeGpuPhaseFromRate(rate, bandwidth_share, queue).time;
+    }
+
+    void tracePartition(obs::Tracer& tracer, const Partition& p,
+                        Seconds clock, int track_pid) const
+    {
+        tracer.instantEvent(
+            "re-partition", "gpusim.partition", clock * 1e6, track_pid,
+            0,
+            {obs::TraceArg::num("residents", p.residents),
+             obs::TraceArg::num("sms_each", p.smsEach),
+             obs::TraceArg::num("l2_bytes_each",
+                                static_cast<double>(p.l2Each)),
+             obs::TraceArg::num("peak_bw_gbps", p.peakBw / 1e9)});
     }
 };
 
@@ -40,159 +108,46 @@ MpsSim::runShared(
 {
     if (traces.empty())
         fatal("MpsSim::runShared: empty bag");
-
-    std::vector<ClientState> clients(traces.size());
-    for (std::size_t i = 0; i < traces.size(); ++i) {
-        if (traces[i] == nullptr || traces[i]->empty())
+    for (const auto* trace : traces) {
+        if (trace == nullptr || trace->empty())
             fatal("MpsSim::runShared: empty trace in bag");
-        clients[i].trace = traces[i];
     }
 
-    Seconds clock = 0.0;
-    const std::size_t maxEvents = 16 * 1024 * 1024;
-    std::size_t events = 0;
-
-    // Tracing costs one branch per simulator event when disabled; the
-    // per-client track is only allocated when a trace is being taken.
-    obs::Tracer& tracer = obs::tracer();
-    const bool tracing = tracer.enabled();
-    int trackPid = 0;
-    std::vector<Seconds> phaseStart(clients.size(), 0.0);
-    std::size_t lastResident = 0;
-    std::size_t repartitions = 0;
-    std::size_t phasesCompleted = 0;
-    if (tracing) {
-        std::string label = "gpusim bag:";
-        for (const auto& client : clients)
-            label += " " + client.trace->app();
-        trackPid = tracer.beginTrack(label);
-        for (std::size_t i = 0; i < clients.size(); ++i) {
-            tracer.nameThread(trackPid, static_cast<int>(i),
-                              "client " + std::to_string(i) + " (" +
-                                  clients[i].trace->app() + ")");
-        }
-    }
-
-    while (true) {
-        std::vector<std::size_t> active;
-        for (std::size_t i = 0; i < clients.size(); ++i)
-            if (!clients[i].done())
-                active.push_back(i);
-        if (active.empty())
-            break;
-        if (++events > maxEvents)
-            panic("MpsSim: event limit exceeded");
-
-        const auto n = static_cast<int>(active.size());
-
-        // Spatial partition of the SM array and capacity split of L2.
-        const int smsEach = std::max(config_.numSms / n, 1);
-        const Bytes l2Each = config_.l2Size / static_cast<Bytes>(n);
-
-        // Row-buffer interference shaves peak DRAM bandwidth per extra
-        // resident client.
-        const double peakBw =
-            config_.memBandwidth *
-            std::max(1.0 - config_.dramInterferenceLoss *
-                               static_cast<double>(n - 1),
-                     0.3);
-
-        // The resident set changed: MPS re-divides SMs, L2 and DRAM.
-        if (active.size() != lastResident) {
-            lastResident = active.size();
-            ++repartitions;
-            if (tracing) {
-                tracer.instantEvent(
-                    "re-partition", "gpusim.partition", clock * 1e6,
-                    trackPid, 0,
-                    {obs::TraceArg::num("residents", n),
-                     obs::TraceArg::num("sms_each", smsEach),
-                     obs::TraceArg::num("l2_bytes_each",
-                                        static_cast<double>(l2Each)),
-                     obs::TraceArg::num("peak_bw_gbps", peakBw / 1e9)});
-            }
-        }
-
-        std::vector<GpuAllocation> allocs(active.size());
-        std::vector<double> demands(active.size());
-        for (std::size_t k = 0; k < active.size(); ++k) {
-            auto& a = allocs[k];
-            a.sms = smsEach;
-            a.l2Share = l2Each;
-            a.residentApps = n;
-            demands[k] = gpuPhaseBandwidthDemand(
-                clients[active[k]].currentPhase(), a, config_, l2Params_);
-        }
-        const auto granted = maxMinShare(demands, peakBw);
-        double totalDemand = 0.0;
-        for (double d : demands)
-            totalDemand += d;
-        const double queue =
-            queueingDelayFactor(std::min(totalDemand / peakBw, 1.0));
-
-        std::vector<Seconds> remaining(active.size());
-        std::vector<Seconds> durations(active.size());
-        Seconds dt = std::numeric_limits<Seconds>::infinity();
-        for (std::size_t k = 0; k < active.size(); ++k) {
-            allocs[k].bandwidthShare = std::max(granted[k], 1.0);
-            allocs[k].memQueueFactor = queue;
-            const GpuPhaseTiming t =
-                timeGpuPhase(clients[active[k]].currentPhase(), allocs[k],
-                             config_, l2Params_);
-            durations[k] = std::max(t.time, 1e-15);
-            remaining[k] =
-                durations[k] * (1.0 - clients[active[k]].phaseFraction);
-            dt = std::min(dt, remaining[k]);
-        }
-
-        clock += dt;
-        for (std::size_t k = 0; k < active.size(); ++k) {
-            ClientState& client = clients[active[k]];
-            if (remaining[k] - dt <= durations[k] * 1e-12) {
-                ++phasesCompleted;
-                if (tracing) {
-                    const std::size_t i = active[k];
-                    tracer.completeEvent(
-                        client.currentPhase().name, "gpusim.phase",
-                        phaseStart[i] * 1e6,
-                        (clock - phaseStart[i]) * 1e6, trackPid,
-                        static_cast<int>(i),
-                        {obs::TraceArg::str("app", client.trace->app()),
-                         obs::TraceArg::num(
-                             "phase_index",
-                             static_cast<double>(client.phase))});
-                    phaseStart[i] = clock;
-                }
-                client.phase += 1;
-                client.phaseFraction = 0.0;
-                if (client.done())
-                    client.finishTime = clock;
-            } else {
-                client.phaseFraction += dt / durations[k];
-            }
-        }
-    }
+    const GpuCorunModel model{config_, l2Params_};
+    thread_local std::vector<Seconds> finish;
+    finish.resize(traces.size());
+    const sim::CorunStats stats = sim::runCorun(
+        model,
+        std::span<const isa::WorkloadTrace* const>(traces.data(),
+                                                   traces.size()),
+        finish);
 
     // Flush the run's counters in one batch so the hot loop stays
     // atomics-free.
     {
-        auto& registry = obs::defaultRegistry();
-        registry.counter("gpusim.runs").add(1);
-        registry.counter("gpusim.sim_events").add(events);
-        registry.counter("gpusim.repartitions").add(repartitions);
-        registry.counter("gpusim.phases_completed").add(phasesCompleted);
+        static auto& registry = obs::defaultRegistry();
+        static auto& runs = registry.counter("gpusim.runs");
+        static auto& simEvents = registry.counter("gpusim.sim_events");
+        static auto& repartitions =
+            registry.counter("gpusim.repartitions");
+        static auto& phasesCompleted =
+            registry.counter("gpusim.phases_completed");
+        runs.add(1);
+        simEvents.add(stats.events);
+        repartitions.add(stats.repartitions);
+        phasesCompleted.add(stats.phasesCompleted);
     }
 
     BagGpuResult result;
-    result.apps.reserve(clients.size());
-    for (const auto& client : clients) {
+    result.apps.reserve(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
         AppGpuResult r;
-        r.app = client.trace->app();
-        r.time = client.finishTime;
-        r.instructions = client.trace->totalInstructions();
-        r.ipc = client.finishTime > 0.0
+        r.app = traces[i]->app();
+        r.time = finish[i];
+        r.instructions = traces[i]->totalInstructions();
+        r.ipc = finish[i] > 0.0
                     ? static_cast<double>(r.instructions) /
-                          (client.finishTime * config_.frequency)
+                          (finish[i] * config_.frequency)
                     : 0.0;
         result.makespan = std::max(result.makespan, r.time);
         result.apps.push_back(std::move(r));

@@ -17,34 +17,36 @@ phaseOccupancy(const isa::KernelPhase& phase, int sms,
     return std::clamp(items / capacity, 0.05, 1.0);
 }
 
-GpuPhaseTiming
-timeGpuPhase(const isa::KernelPhase& phase, const GpuAllocation& alloc,
+GpuPhaseRate
+gpuPhaseRate(const isa::KernelPhase& phase, const GpuAllocation& alloc,
              const GpuConfig& config, const L2ModelParams& l2_params)
 {
-    GpuPhaseTiming t;
+    GpuPhaseRate rate;
     const auto insts = static_cast<double>(phase.instructions());
     if (insts == 0.0)
-        return t;
+        return rate;
+    rate.empty = false;
 
     if (phase.hostStaged) {
         // Host-to-device transfer: PCIe drain plus a fixed per-transfer
         // driver cost; no SM/L2/TLB involvement. Co-residents contend
-        // for the link via the granted bandwidth share scaled to PCIe.
+        // for the link via a per-resident split of PCIe, independent of
+        // the DRAM grant and queue factor.
+        rate.hostStaged = true;
         const auto launches = static_cast<double>(phase.launches);
         const double linkShare =
             config.pcieBandwidth /
             static_cast<double>(std::max(alloc.residentApps, 1));
         // Transfer volume is the device-side write size, not the
         // memcpy's combined read+write traffic.
-        t.memoryTime =
+        rate.hostMemoryTime =
             static_cast<double>(phase.bytesWritten) / linkShare;
-        t.overheadTime = launches * config.stagingLatency;
-        t.time = t.memoryTime + t.overheadTime;
-        return t;
+        rate.overheadTime = launches * config.stagingLatency;
+        return rate;
     }
 
     const int sms = std::max(alloc.sms, 1);
-    t.occupancy = phaseOccupancy(phase, sms, config);
+    rate.occupancy = phaseOccupancy(phase, sms, config);
 
     // SIMT issue cycles: per-class lane throughput across the partition,
     // derated by divergence (idle lanes) and occupancy (idle warp slots).
@@ -58,57 +60,51 @@ timeGpuPhase(const isa::KernelPhase& phase, const GpuAllocation& alloc,
     const double laneUtil =
         std::max(1.0 - config.divergenceLoss * phase.branchDivergence,
                  0.05);
-    const double warpUtil = 0.25 + 0.75 * t.occupancy;
+    const double warpUtil = 0.25 + 0.75 * rate.occupancy;
     issueCycles /= laneUtil * warpUtil;
 
     const double p = phase.parallelFraction;
-    t.computeTime = issueCycles * p / config.frequency;
+    rate.computeTime = issueCycles * p / config.frequency;
     // The serial fraction crawls along one lane.
-    t.serialTime =
+    rate.serialTime =
         insts * (1.0 - p) / (config.serialIpc * config.frequency);
 
-    // Post-L2 DRAM drain.
-    t.l2MissRate = l2MissRate(phase.footprint, alloc.l2Share,
-                              phase.locality, alloc.residentApps,
-                              l2_params);
-    // Drain time over the granted share; contention is already in the
-    // share, so no extra queueing multiplier here.
-    const double dramTraffic =
-        static_cast<double>(phase.traffic()) * t.l2MissRate;
-    t.memoryTime = alloc.bandwidthShare > 0.0
-                       ? dramTraffic / alloc.bandwidthShare
-                       : 0.0;
+    // Post-L2 DRAM traffic to drain through the per-event grant.
+    rate.l2MissRate = l2MissRate(phase.footprint, alloc.l2Share,
+                                 phase.locality, alloc.residentApps,
+                                 l2_params);
+    rate.dramTraffic =
+        static_cast<double>(phase.traffic()) * rate.l2MissRate;
 
     // TLB stalls (shared across MPS clients): one potential walk per
-    // page transition of the phase's traffic.
+    // page transition of the phase's traffic. The per-event queueing
+    // multiplier is applied in timeGpuPhaseFromRate().
     const double pageTouches =
         static_cast<double>(phase.traffic()) /
         static_cast<double>(config.pageSize);
-    t.tlbMissRate =
+    rate.tlbMissRate =
         tlbMissRate(phase.footprint, alloc.residentApps, config);
-    // Page walks are latency-bound, so memory-controller queueing
-    // inflates them.
-    t.tlbTime = tlbStallTime(pageTouches, t.tlbMissRate,
-                             alloc.residentApps, config) *
-                alloc.memQueueFactor;
+    rate.tlbStallBase = tlbStallTime(pageTouches, rate.tlbMissRate,
+                                     alloc.residentApps, config);
 
     // Launch and MPS scheduling overheads per kernel launch.
     const auto launches = static_cast<double>(phase.launches);
-    t.overheadTime =
+    rate.overheadTime =
         launches *
         (config.launchOverhead +
          config.mpsSchedulingOverhead *
              static_cast<double>(std::max(alloc.residentApps - 1, 0)));
 
-    // High occupancy overlaps compute with memory; low occupancy
-    // exposes both. Interpolate between max() and sum().
-    const double overlap = t.occupancy;
-    const double busy =
-        std::max(t.computeTime, t.memoryTime) * overlap +
-        (t.computeTime + t.memoryTime) * (1.0 - overlap);
+    return rate;
+}
 
-    t.time = busy + t.serialTime + t.tlbTime + t.overheadTime;
-    return t;
+GpuPhaseTiming
+timeGpuPhase(const isa::KernelPhase& phase, const GpuAllocation& alloc,
+             const GpuConfig& config, const L2ModelParams& l2_params)
+{
+    return timeGpuPhaseFromRate(
+        gpuPhaseRate(phase, alloc, config, l2_params),
+        alloc.bandwidthShare, alloc.memQueueFactor);
 }
 
 BytesPerSecond
@@ -116,16 +112,8 @@ gpuPhaseBandwidthDemand(const isa::KernelPhase& phase,
                         const GpuAllocation& alloc, const GpuConfig& config,
                         const L2ModelParams& l2_params)
 {
-    GpuAllocation unconstrained = alloc;
-    unconstrained.bandwidthShare = 0.0;
-    unconstrained.memQueueFactor = 1.0;
-    const GpuPhaseTiming t =
-        timeGpuPhase(phase, unconstrained, config, l2_params);
-    if (t.time <= 0.0)
-        return 0.0;
-    const double dramTraffic =
-        static_cast<double>(phase.traffic()) * t.l2MissRate;
-    return dramTraffic / t.time;
+    return gpuPhaseDemandFromRate(
+        gpuPhaseRate(phase, alloc, config, l2_params));
 }
 
 }  // namespace mapp::gpusim

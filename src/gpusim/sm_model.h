@@ -8,6 +8,8 @@
 #ifndef MAPP_GPUSIM_SM_MODEL_H
 #define MAPP_GPUSIM_SM_MODEL_H
 
+#include <algorithm>
+
 #include "common/types.h"
 #include "gpusim/gpu_config.h"
 #include "gpusim/l2_model.h"
@@ -49,6 +51,111 @@ struct GpuPhaseTiming
 };
 
 /**
+ * The partition-invariant timing terms of one phase: everything
+ * timeGpuPhase() computes that depends only on the phase and the
+ * spatial allocation (SM count, L2 share, resident-client count) — not
+ * on the per-event bandwidth grant or queueing factor. The co-run
+ * engine computes a rate once per phase entry (and again on residency
+ * changes) and finishes per-event timing with timeGpuPhaseFromRate(),
+ * which is a handful of flops instead of the full SM/L2/TLB model.
+ */
+struct GpuPhaseRate
+{
+    /** Zero-instruction phase: timing is identically zero. */
+    bool empty = true;
+
+    /** Host-staging transfer: time is fully partition-determined. */
+    bool hostStaged = false;
+
+    Seconds computeTime = 0.0;   ///< issue-bound SIMT time
+    Seconds serialTime = 0.0;    ///< Amdahl serial-lane time
+    Seconds tlbStallBase = 0.0;  ///< TLB stalls before queue inflation
+    Seconds overheadTime = 0.0;  ///< launch + MPS scheduling
+    double dramTraffic = 0.0;    ///< post-L2 bytes to drain
+    double occupancy = 1.0;
+    double l2MissRate = 0.0;
+    double tlbMissRate = 0.0;
+
+    /** Host-staged PCIe drain time (hostStaged only). */
+    Seconds hostMemoryTime = 0.0;
+};
+
+/**
+ * Precompute the partition-invariant rate terms of @p phase. Only
+ * @p alloc's sms / l2Share / residentApps fields are read; the
+ * bandwidth grant and queue factor are supplied per event to
+ * timeGpuPhaseFromRate().
+ */
+GpuPhaseRate gpuPhaseRate(const isa::KernelPhase& phase,
+                          const GpuAllocation& alloc,
+                          const GpuConfig& config,
+                          const L2ModelParams& l2_params = {});
+
+/**
+ * Finish one phase's timing from its precomputed rate under the given
+ * bandwidth share and memory-queueing factor. Bit-identical to the
+ * corresponding timeGpuPhase() call: the split performs exactly the
+ * same floating-point operations in the same order. Inline — this is
+ * the co-run engine's per-event hot path.
+ */
+inline GpuPhaseTiming
+timeGpuPhaseFromRate(const GpuPhaseRate& rate,
+                     BytesPerSecond bandwidth_share,
+                     double mem_queue_factor)
+{
+    GpuPhaseTiming t;
+    if (rate.empty)
+        return t;
+
+    if (rate.hostStaged) {
+        t.memoryTime = rate.hostMemoryTime;
+        t.overheadTime = rate.overheadTime;
+        t.time = t.memoryTime + t.overheadTime;
+        return t;
+    }
+
+    t.occupancy = rate.occupancy;
+    t.l2MissRate = rate.l2MissRate;
+    t.tlbMissRate = rate.tlbMissRate;
+    t.computeTime = rate.computeTime;
+    t.serialTime = rate.serialTime;
+    t.overheadTime = rate.overheadTime;
+
+    // Drain time over the granted share; contention is already in the
+    // share, so no extra queueing multiplier here.
+    t.memoryTime = bandwidth_share > 0.0
+                       ? rate.dramTraffic / bandwidth_share
+                       : 0.0;
+
+    // Page walks are latency-bound, so memory-controller queueing
+    // inflates them.
+    t.tlbTime = rate.tlbStallBase * mem_queue_factor;
+
+    // High occupancy overlaps compute with memory; low occupancy
+    // exposes both. Interpolate between max() and sum().
+    const double overlap = t.occupancy;
+    const double busy =
+        std::max(t.computeTime, t.memoryTime) * overlap +
+        (t.computeTime + t.memoryTime) * (1.0 - overlap);
+
+    t.time = busy + t.serialTime + t.tlbTime + t.overheadTime;
+    return t;
+}
+
+/**
+ * Unconstrained bandwidth demand derived from a precomputed rate —
+ * the same value gpuPhaseBandwidthDemand() computes from scratch.
+ */
+inline BytesPerSecond
+gpuPhaseDemandFromRate(const GpuPhaseRate& rate)
+{
+    const GpuPhaseTiming t = timeGpuPhaseFromRate(rate, 0.0, 1.0);
+    if (t.time <= 0.0)
+        return 0.0;
+    return rate.dramTraffic / t.time;
+}
+
+/**
  * Time one phase on the GPU under an allocation.
  *
  * The model: per-class issue throughput over the SM partition with
@@ -57,6 +164,8 @@ struct GpuPhaseTiming
  * a DRAM drain term over post-L2 traffic (the larger of compute and
  * memory wins when occupancy is high enough to overlap them); exposed
  * TLB stalls; and per-launch driver/MPS overheads.
+ *
+ * Implemented as gpuPhaseRate() + timeGpuPhaseFromRate().
  */
 GpuPhaseTiming timeGpuPhase(const isa::KernelPhase& phase,
                             const GpuAllocation& alloc,

@@ -13,6 +13,7 @@
 
 #include <map>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,13 @@ struct DataPoint
     double fairness = 0.0;
     Seconds cpuSharedMakespan = 0.0;  ///< diagnostic, not a feature
     Seconds gpuBagTime = 0.0;         ///< the prediction target
+};
+
+/** Which co-run measurements a simulateBags() batch should warm. */
+struct BagSimRequest
+{
+    bool cpu = true;  ///< shared-CPU co-runs (fairness inputs)
+    bool gpu = true;  ///< GPU bag runs under MPS (the target)
 };
 
 /** Extra knobs of the collection pipeline. */
@@ -141,9 +149,29 @@ class DataCollector
     double measureFairness(const BagSpec& spec);
 
     /**
-     * Measure a whole campaign. Runs bags concurrently on the global
-     * thread pool when the parallel layer is enabled; the returned
-     * points are in @p specs order and bit-identical to a serial run.
+     * Simulate every not-yet-cached bag co-run in @p specs in one
+     * batch, fanning the uncached (bag, simulator) units across the
+     * global thread pool. Duplicate and already-warm bags cost a cache
+     * lookup only; after return, measureFairness()/collect() on any of
+     * the specs is a pure cache hit. @p want narrows the batch to one
+     * simulator (a scheduler scoring candidates only needs the CPU
+     * side).
+     */
+    void simulateBags(std::span<const BagSpec> specs,
+                      BagSimRequest want = {});
+
+    /**
+     * Fairness for every bag in @p specs, in order: one simulateBags()
+     * batch over the uncached CPU co-runs, then cache-hit assembly.
+     */
+    std::vector<double> measureFairnessBatch(
+        std::span<const BagSpec> specs);
+
+    /**
+     * Measure a whole campaign. Fans the member and bag simulations
+     * across the global thread pool via simulateBags() when the
+     * parallel layer is enabled; the returned points are in @p specs
+     * order and bit-identical to a serial run.
      */
     std::vector<DataPoint> collectAll(const std::vector<BagSpec>& specs);
 
@@ -187,7 +215,10 @@ class DataCollector
      */
     const SharedCpuRun& sharedCpuRun(const BagSpec& spec);
 
-    /** The bag's GPU makespan under MPS, disk-backed. Canonical spec. */
+    /**
+     * The bag's GPU makespan under MPS, memoized per canonical spec
+     * and disk-backed. @p spec must already be canonical.
+     */
     Seconds gpuBagMakespan(const BagSpec& spec);
 
     cpusim::MulticoreSim cpu_;
@@ -204,6 +235,7 @@ class DataCollector
     std::map<BagMember, int> threadCache_;
     std::map<BagMember, double> ipcCache_;
     std::map<BagSpec, SharedCpuRun> sharedCpuCache_;
+    std::map<BagSpec, Seconds> gpuCache_;
 };
 
 /**

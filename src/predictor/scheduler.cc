@@ -79,12 +79,14 @@ CoScheduler::scoreBags(const std::vector<BagSpec>& specs,
     }
     if (!fresh.empty()) {
         // The CPU-side fairness measurement dominates a candidate's
-        // cost; measure the uncached pairs across the pool lanes.
-        std::vector<double> fairness(fresh.size());
-        parallel::parallelFor(fresh.size(), [&](std::size_t i) {
-            fairness[i] = collector_.measureFairness(
-                BagSpec{fresh[i].first, fresh[i].second});
-        });
+        // cost; one collector batch fans the uncached pairs across
+        // the pool lanes (GPU runs excluded — scoring is pre-GPU).
+        std::vector<BagSpec> freshSpecs;
+        freshSpecs.reserve(fresh.size());
+        for (const auto& [a, b] : fresh)
+            freshSpecs.push_back(BagSpec{a, b});
+        const std::vector<double> fairness =
+            collector_.measureFairnessBatch(freshSpecs);
         std::vector<BagQuery> queries;
         queries.reserve(fresh.size());
         for (std::size_t i = 0; i < fresh.size(); ++i)
@@ -267,6 +269,14 @@ CoScheduler::schedule(const std::vector<BagMember>& jobs,
 double
 CoScheduler::measure(const Schedule& schedule) const
 {
+    // Fan the schedule's remaining bag measurements (the GPU runs;
+    // the CPU side is warm from scoring) across the pool up front.
+    std::vector<BagSpec> specs;
+    specs.reserve(schedule.bags.size());
+    for (const auto& bag : schedule.bags)
+        specs.push_back(bag.spec);
+    collector_.simulateBags(specs);
+
     double total = 0.0;
     std::vector<double> actual;
     std::vector<double> predicted;

@@ -1,0 +1,66 @@
+#include "sim/corun_engine.h"
+
+#include <atomic>
+
+#include "common/error.h"
+
+namespace mapp::sim {
+
+namespace {
+
+constexpr std::size_t kDefaultEventLimit = 16 * 1024 * 1024;
+
+std::atomic<std::size_t> g_eventLimit{kDefaultEventLimit};
+
+}  // namespace
+
+std::size_t
+eventLimit()
+{
+    return g_eventLimit.load(std::memory_order_relaxed);
+}
+
+void
+setEventLimit(std::size_t limit)
+{
+    g_eventLimit.store(limit == 0 ? kDefaultEventLimit : limit,
+                       std::memory_order_relaxed);
+}
+
+const SimInstruments&
+simInstruments()
+{
+    static auto& registry = obs::defaultRegistry();
+    static const SimInstruments instruments{
+        registry.counter("sim.bags"),
+        registry.counter("sim.events"),
+        registry.counter("sim.repartitions"),
+        registry.counter("sim.event_limit_hits"),
+        registry.histogram("sim.bag_seconds"),
+    };
+    return instruments;
+}
+
+void
+raiseEventLimitExceeded(const char* sim_name,
+                        std::span<const isa::WorkloadTrace* const> traces,
+                        std::size_t event_count)
+{
+    std::string members;
+    for (const auto* trace : traces) {
+        if (!members.empty())
+            members += "+";
+        members += trace->app();
+    }
+    SourceContext context;
+    context.file = std::string(sim_name) + " bag " + members;
+    raise(Error(ErrorCode::Range,
+                "co-run simulation exceeded the event limit (" +
+                    std::to_string(event_count - 1) +
+                    " events) — the bag {" + members +
+                    "} never converges; a phase duration is likely "
+                    "degenerate",
+                std::move(context)));
+}
+
+}  // namespace mapp::sim

@@ -1,0 +1,326 @@
+/**
+ * @file
+ * The shared allocation-free incremental co-run engine.
+ *
+ * Both simulators (gpusim's MPS clients, cpusim's multicore apps) run
+ * the same discrete-event loop: advance the clock to the earliest phase
+ * completion, re-divide spatial resources whenever the resident set
+ * changes, and negotiate memory bandwidth by max-min fairness over the
+ * residents' instantaneous demands. runCorun() implements that loop
+ * once, parameterized over a Model policy that supplies the machine
+ * specifics (partition shape, the phase rate model, demand, capacity,
+ * queueing, and trace formatting).
+ *
+ * Contract: bit-identical results to the original per-simulator loops.
+ * The engine preserves the exact event ordering and floating-point
+ * sequence of the seed implementation — the active set is kept in
+ * ascending client order (ordered compaction, never swap-remove,
+ * because the max-min waterfill and the total-demand sum are
+ * FP-order-sensitive), and the per-event arithmetic is the seed's
+ * expressions verbatim. What changed is *when* things are computed:
+ *
+ *  - the expensive phase-rate model runs once per phase entry and once
+ *    per residency change, not twice per event per client;
+ *  - partition geometry is computed on residency changes only;
+ *  - all per-event state lives in a thread-local scratch arena that is
+ *    reused across bags, so steady-state simulation performs no heap
+ *    allocation.
+ *
+ * The bit-identity is pinned by the golden fuzz suite in
+ * tests/test_sim_engine.cc, which compares against a literal
+ * transcription of the seed loop.
+ *
+ * The Model policy must provide:
+ *
+ *   static constexpr const char* kName;        // "gpusim" / "cpusim"
+ *   static constexpr const char* kClientWord;  // "client" / "app"
+ *   using Rate = ...;       // partition-invariant phase timing terms
+ *   struct Partition {...}; // resident-count-derived resource split
+ *   Partition makePartition(int n) const;
+ *   Rate phaseRate(std::size_t client, const isa::KernelPhase&,
+ *                  const Partition&) const;
+ *   double demand(const Rate&) const;        // unconstrained bytes/sec
+ *   double capacity(const Partition&) const; // negotiable bandwidth
+ *   double queueFactor(double total_demand, const Partition&) const;
+ *   Seconds finishTime(const Rate&, double bandwidth_share,
+ *                      double queue) const;
+ *   void tracePartition(obs::Tracer&, const Partition&, Seconds clock,
+ *                       int track_pid) const;
+ */
+
+#ifndef MAPP_SIM_CORUN_ENGINE_H
+#define MAPP_SIM_CORUN_ENGINE_H
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/sharing.h"
+#include "common/types.h"
+#include "isa/trace.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mapp::sim {
+
+/** Engine-wide event counts of one co-run, for the caller's metrics. */
+struct CorunStats
+{
+    std::size_t events = 0;
+    std::size_t repartitions = 0;
+    std::size_t phasesCompleted = 0;
+};
+
+/**
+ * The per-event cap on simulator iterations, guarding against infinite
+ * loops from degenerate inputs. Exceeding it raises a located
+ * mapp::Error (ErrorCode::Range) naming the bag members and the event
+ * count, and bumps the sim.event_limit_hits counter.
+ */
+std::size_t eventLimit();
+
+/** Override the event limit (tests only; 0 restores the default). */
+void setEventLimit(std::size_t limit);
+
+/** Shared instrument references for the sim.* metrics family. */
+struct SimInstruments
+{
+    obs::Counter& bags;
+    obs::Counter& events;
+    obs::Counter& repartitions;
+    obs::Counter& eventLimitHits;
+    obs::Histogram& bagSeconds;
+};
+
+/** The process-wide sim.* instruments, resolved once. */
+const SimInstruments& simInstruments();
+
+/** @internal Raise the event-limit error for @p traces. */
+[[noreturn]] void raiseEventLimitExceeded(
+    const char* sim_name,
+    std::span<const isa::WorkloadTrace* const> traces,
+    std::size_t event_count);
+
+/**
+ * The preallocated per-thread scratch arena of one engine
+ * instantiation. Vectors are resized per bag but keep their capacity
+ * across bags, so the steady state allocates nothing.
+ */
+template <class Rate>
+struct CorunScratch
+{
+    // Indexed by client (0..N-1).
+    std::vector<std::size_t> phase;
+    std::vector<double> phaseFraction;
+    std::vector<Rate> rates;
+    std::vector<double> demandOf;
+    std::vector<Seconds> phaseStart;  ///< tracing only
+
+    // The resident set, ascending client order; compacted in order.
+    std::vector<std::size_t> active;
+
+    // Indexed by active position (0..n-1), repacked each event.
+    std::vector<double> demands;
+    std::vector<double> granted;
+    std::vector<Seconds> remaining;
+    std::vector<Seconds> durations;
+
+    // maxMinShareInto() waterfill scratch.
+    std::vector<std::size_t> hungry;
+};
+
+/** The thread-local scratch arena for rate type @p Rate. */
+template <class Rate>
+CorunScratch<Rate>&
+corunScratch()
+{
+    thread_local CorunScratch<Rate> scratch;
+    return scratch;
+}
+
+/**
+ * Co-run @p traces under @p model until every client finishes. Writes
+ * each client's completion time (the global clock at its last phase
+ * completion) into @p finish_out, which must have traces.size()
+ * entries. Callers validate the bag (non-null, non-empty traces)
+ * before entry.
+ *
+ * Flushes the sim.* metrics family (one batch per bag; the hot loop is
+ * atomics-free) and returns the event counts so the caller can flush
+ * its simulator-specific counters too.
+ */
+template <class Model>
+CorunStats
+runCorun(const Model& model,
+         std::span<const isa::WorkloadTrace* const> traces,
+         std::span<Seconds> finish_out)
+{
+    using Rate = typename Model::Rate;
+    const auto wallStart = std::chrono::steady_clock::now();
+
+    const std::size_t numClients = traces.size();
+    auto& scratch = corunScratch<Rate>();
+
+    scratch.phase.assign(numClients, 0);
+    scratch.phaseFraction.assign(numClients, 0.0);
+    scratch.rates.resize(numClients);
+    scratch.demandOf.resize(numClients);
+    scratch.active.resize(numClients);
+    std::iota(scratch.active.begin(), scratch.active.end(),
+              std::size_t{0});
+    scratch.demands.resize(numClients);
+    scratch.granted.resize(numClients);
+    scratch.remaining.resize(numClients);
+    scratch.durations.resize(numClients);
+    std::fill(finish_out.begin(), finish_out.end(), -1.0);
+
+    // Nothing below reallocates, so the vectors' data pointers are
+    // loop-invariant; hoisting them keeps the hot loop free of
+    // pointer re-loads around the opaque model calls.
+    std::size_t* const phaseOf = scratch.phase.data();
+    double* const fractionOf = scratch.phaseFraction.data();
+    Rate* const rateOf = scratch.rates.data();
+    double* const demandOf = scratch.demandOf.data();
+    std::size_t* const active = scratch.active.data();
+    double* const demands = scratch.demands.data();
+    double* const granted = scratch.granted.data();
+    Seconds* const remainingOf = scratch.remaining.data();
+    Seconds* const durationOf = scratch.durations.data();
+    std::size_t activeCount = numClients;
+
+    Seconds clock = 0.0;
+    const std::size_t maxEvents = eventLimit();
+    CorunStats stats;
+
+    // Tracing costs one branch per simulator event when disabled; the
+    // per-client bookkeeping is only allocated when a trace is taken.
+    obs::Tracer& tracer = obs::tracer();
+    const bool tracing = tracer.enabled();
+    int trackPid = 0;
+    if (tracing) {
+        scratch.phaseStart.assign(numClients, 0.0);
+        std::string label = std::string(Model::kName) + " bag:";
+        for (const auto* trace : traces)
+            label += " " + trace->app();
+        trackPid = tracer.beginTrack(label);
+        for (std::size_t i = 0; i < numClients; ++i) {
+            tracer.nameThread(trackPid, static_cast<int>(i),
+                              std::string(Model::kClientWord) + " " +
+                                  std::to_string(i) + " (" +
+                                  traces[i]->app() + ")");
+        }
+    }
+
+    std::size_t lastResident = 0;
+    typename Model::Partition part{};
+
+    while (activeCount > 0) {
+        if (++stats.events > maxEvents) {
+            simInstruments().eventLimitHits.add(1);
+            raiseEventLimitExceeded(Model::kName, traces, stats.events);
+        }
+
+        const std::size_t n = activeCount;
+
+        // The resident set changed: resources are re-divided and every
+        // resident's rate terms shift with the new partition. (The
+        // first event always lands here: lastResident starts at 0.)
+        if (n != lastResident) {
+            part = model.makePartition(static_cast<int>(n));
+            lastResident = n;
+            ++stats.repartitions;
+            if (tracing)
+                model.tracePartition(tracer, part, clock, trackPid);
+            for (std::size_t j = 0; j < n; ++j) {
+                const std::size_t k = active[j];
+                rateOf[k] = model.phaseRate(
+                    k, traces[k]->phases()[phaseOf[k]], part);
+                demandOf[k] = model.demand(rateOf[k]);
+            }
+        }
+
+        // Bandwidth negotiation over the residents' current demands.
+        // Packed in ascending client order — the waterfill and the
+        // total-demand sum are FP-order-sensitive.
+        for (std::size_t j = 0; j < n; ++j)
+            demands[j] = demandOf[active[j]];
+        maxMinShareInto(std::span<const double>(demands, n),
+                        model.capacity(part),
+                        std::span<double>(granted, n), scratch.hungry);
+        double totalDemand = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+            totalDemand += demands[j];
+        const double queue = model.queueFactor(totalDemand, part);
+
+        // Finish per-event timing from the precomputed rates.
+        Seconds dt = std::numeric_limits<Seconds>::infinity();
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::size_t k = active[j];
+            const double share = std::max(granted[j], 1.0);
+            const Seconds t = model.finishTime(rateOf[k], share, queue);
+            durationOf[j] = std::max(t, 1e-15);
+            remainingOf[j] = durationOf[j] * (1.0 - fractionOf[k]);
+            dt = std::min(dt, remainingOf[j]);
+        }
+
+        // Advance to the earliest phase completion; compact finished
+        // clients out of the active set in order.
+        clock += dt;
+        std::size_t write = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const std::size_t k = active[j];
+            if (remainingOf[j] - dt <= durationOf[j] * 1e-12) {
+                ++stats.phasesCompleted;
+                if (tracing) {
+                    tracer.completeEvent(
+                        traces[k]->phases()[phaseOf[k]].name,
+                        std::string(Model::kName) + ".phase",
+                        scratch.phaseStart[k] * 1e6,
+                        (clock - scratch.phaseStart[k]) * 1e6, trackPid,
+                        static_cast<int>(k),
+                        {obs::TraceArg::str("app", traces[k]->app()),
+                         obs::TraceArg::num(
+                             "phase_index",
+                             static_cast<double>(phaseOf[k]))});
+                    scratch.phaseStart[k] = clock;
+                }
+                phaseOf[k] += 1;
+                fractionOf[k] = 0.0;
+                if (phaseOf[k] >= traces[k]->phases().size()) {
+                    finish_out[k] = clock;
+                    continue;  // drops k from the active set
+                }
+                // New phase under the unchanged partition: refresh
+                // only this client's rate terms.
+                rateOf[k] = model.phaseRate(
+                    k, traces[k]->phases()[phaseOf[k]], part);
+                demandOf[k] = model.demand(rateOf[k]);
+            } else {
+                fractionOf[k] += dt / durationOf[j];
+            }
+            active[write++] = k;
+        }
+        activeCount = write;
+    }
+
+    // Flush the bag's metrics in one batch.
+    {
+        const auto& ins = simInstruments();
+        ins.bags.add(1);
+        ins.events.add(stats.events);
+        ins.repartitions.add(stats.repartitions);
+        const std::chrono::duration<double> wall =
+            std::chrono::steady_clock::now() - wallStart;
+        ins.bagSeconds.observe(wall.count());
+    }
+    return stats;
+}
+
+}  // namespace mapp::sim
+
+#endif  // MAPP_SIM_CORUN_ENGINE_H
